@@ -1,0 +1,39 @@
+// Ablation A6: swap stripe width. Prefetching hides latency only as far as
+// the disk array's parallelism allows (Section 3.3 builds the pthread pool
+// precisely to exploit it); this sweep shrinks the paper's ten-disk array.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
+  tmh::PrintHeader("Ablation A6: swap stripe width (MATVEC, versions O and B)", args.scale);
+
+  const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+  tmh::ReportTable table({"disks", "O exec(s)", "B exec(s)", "speedup", "B io-stall(s)"});
+  for (const int disks : {1, 2, 4, 6, 10}) {
+    auto run = [&](tmh::AppVersion version) {
+      tmh::ExperimentSpec spec;
+      spec.machine = tmh::BenchMachine(args.scale);
+      spec.machine.swap.num_disks = disks;
+      spec.workload = matvec.factory(args.scale);
+      spec.version = version;
+      return RunExperiment(spec);
+    };
+    const tmh::ExperimentResult o = run(tmh::AppVersion::kOriginal);
+    const tmh::ExperimentResult b = run(tmh::AppVersion::kBuffered);
+    const double o_exec = tmh::ToSeconds(o.app.times.Execution());
+    const double b_exec = tmh::ToSeconds(b.app.times.Execution());
+    table.AddRow({std::to_string(disks), tmh::FormatDouble(o_exec, 1),
+                  tmh::FormatDouble(b_exec, 1), tmh::FormatDouble(o_exec / b_exec, 1),
+                  tmh::FormatDouble(tmh::ToSeconds(b.app.times.io_stall), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the original version barely notices extra spindles (its\n"
+      "faults are serial), while prefetch+release scales with the stripe until\n"
+      "compute becomes the bottleneck — the cost-effectiveness argument for\n"
+      "pairing prefetching with a wide, cheap disk array.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every binary accepts an optional first argument: the workload scale in
+// (0, 1], default 1.0 (paper scale). Smaller scales shrink both the data sets
+// and the machine proportionally, preserving the out-of-core ratio, for quick
+// looks at the shapes.
+
+#ifndef TMH_BENCH_BENCH_UTIL_H_
+#define TMH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/workloads/workloads.h"
+
+namespace tmh {
+
+struct BenchArgs {
+  double scale = 1.0;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  if (argc > 1) {
+    args.scale = std::atof(argv[1]);
+    if (args.scale <= 0.0 || args.scale > 1.0) {
+      std::fprintf(stderr, "scale must be in (0, 1]; got %s\n", argv[1]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// The simulated machine, shrunk with the workload so it stays out-of-core.
+inline MachineConfig BenchMachine(double scale) {
+  MachineConfig config;
+  config.user_memory_bytes =
+      static_cast<int64_t>(static_cast<double>(config.user_memory_bytes) * scale);
+  return config;
+}
+
+inline ExperimentResult RunBench(const WorkloadInfo& info, double scale, AppVersion version,
+                                 bool with_interactive, SimDuration sleep = 5 * kSec) {
+  ExperimentSpec spec;
+  spec.machine = BenchMachine(scale);
+  spec.workload = info.factory(scale);
+  spec.version = version;
+  spec.with_interactive = with_interactive;
+  spec.interactive.sleep_time = sleep;
+  const ExperimentResult result = RunExperiment(spec);
+  if (!result.completed) {
+    std::fprintf(stderr, "WARNING: %s/%s did not complete within the event budget\n",
+                 info.name.c_str(), VersionLabel(version));
+  }
+  return result;
+}
+
+inline void PrintHeader(const char* what, double scale) {
+  std::printf("=== %s ===\n", what);
+  std::printf("(simulated SGI Origin 200, %.1f MB user memory, 10-disk striped swap; "
+              "workload scale %.2f)\n\n",
+              75.0 * scale, scale);
+}
+
+}  // namespace tmh
+
+#endif  // TMH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,52 @@
+// Extension: adaptive code generation — the paper's stated future work.
+//
+// "Ultimately, the solution to the problems experienced by MGRID and FFTPDE
+// is to generate more adaptive code" (Section 4.2). With adaptive
+// recompilation, an unknown-bound nest is re-specialized at entry once its
+// actual trip counts are known: hint evaluation strip-mines to page crossings
+// (killing the per-iteration filtering flood CGM suffers from) and the
+// locality analysis sees real working-set volumes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
+  tmh::PrintHeader("Extension: adaptive recompilation of unknown-bound nests", args.scale);
+
+  tmh::ReportTable table({"benchmark", "variant", "exec(s)", "user(s)", "hints-checked",
+                          "recompiles", "swap-reads"});
+  for (const char* name : {"CGM", "MGRID", "FFTPDE"}) {
+    for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+      if (info.name != name) {
+        continue;
+      }
+      for (const bool adaptive : {false, true}) {
+        tmh::ExperimentSpec spec;
+        spec.machine = tmh::BenchMachine(args.scale);
+        spec.workload = info.factory(args.scale);
+        spec.version = tmh::AppVersion::kBuffered;
+        spec.adaptive = adaptive;
+        const tmh::ExperimentResult result = RunExperiment(spec);
+        const tmh::RuntimeStats& rt = *result.app.runtime;
+        table.AddRow({info.name, adaptive ? "B+adaptive" : "B (static)",
+                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.user), 1),
+                      tmh::FormatCount(rt.prefetch_hints + rt.release_hints),
+                      tmh::FormatCount(result.app.interp.adaptive_recompiles),
+                      tmh::FormatCount(result.swap_reads)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: adaptive variants check orders of magnitude fewer hints\n"
+      "(strip-mined emission instead of every-iteration filtering), cutting CGM's\n"
+      "and MGRID's user-time overhead with unchanged page traffic. FFTPDE gets\n"
+      "WORSE: its problem is a wrong dependence test, not unknown bounds, and\n"
+      "specialization makes the compiler trust the bogus reuse even harder (it\n"
+      "now suppresses prefetches for 'resident' data that actually streams) —\n"
+      "adaptivity is no substitute for correct analysis.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension: the hand-tuned oracle baseline. The paper's introduction notes
+// that "performance concerns have traditionally forced programmers to
+// explicitly manage the I/O in their out-of-core codes" and positions
+// compiler automation as matching that effort without the burden. The oracle
+// compiles with perfect knowledge — true strides, known bounds — standing in
+// for the programmer who knows exactly what the code does. The gap between B
+// and the oracle is the price of the analysis's blind spots.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
+  tmh::PrintHeader("Extension: compiler automation (B) vs hand-tuned oracle", args.scale);
+
+  tmh::ReportTable table({"benchmark", "variant", "exec(s)", "io-stall(s)", "hints-checked",
+                          "swap-reads", "daemon-stolen"});
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const bool oracle : {false, true}) {
+      tmh::ExperimentSpec spec;
+      spec.machine = tmh::BenchMachine(args.scale);
+      spec.workload = info.factory(args.scale);
+      spec.version = tmh::AppVersion::kBuffered;
+      spec.oracle = oracle;
+      const tmh::ExperimentResult result = RunExperiment(spec);
+      const tmh::RuntimeStats& rt = *result.app.runtime;
+      table.AddRow({info.name, oracle ? "oracle" : "B",
+                    tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+                    tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
+                    tmh::FormatCount(rt.prefetch_hints + rt.release_hints),
+                    tmh::FormatCount(result.swap_reads),
+                    tmh::FormatCount(result.kernel.daemon_pages_stolen)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: for the analyzable benchmarks (EMBAR, MATVEC) the compiler\n"
+      "already matches the oracle exactly — the paper's core automation claim. The\n"
+      "gap appears where Table 2 predicts difficulty: BUK/CGM/MGRID pay hint-\n"
+      "filtering floods the oracle strip-mines away. FFTPDE is the curiosity: the\n"
+      "oracle releases its streams honestly and re-reads them, while B's *false*\n"
+      "reuse priorities accidentally retain pages the next stage does want —\n"
+      "being wrong for the right pages can beat being right.\n");
+  return 0;
+}

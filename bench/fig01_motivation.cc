@@ -1,0 +1,52 @@
+// Figure 1: impact of an out-of-core application (MATVEC) on interactive
+// response time, across interactive think (sleep) times, for the original
+// program and the prefetching-only version — the motivating observation that
+// prefetching + global replacement puts the interactive task at a serious
+// disadvantage.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
+  tmh::PrintHeader("Figure 1: interactive response time vs sleep time (MATVEC)", args.scale);
+
+  const std::vector<tmh::SimDuration> sleeps = {0,
+                                                1 * tmh::kSec,
+                                                2 * tmh::kSec,
+                                                5 * tmh::kSec,
+                                                10 * tmh::kSec,
+                                                20 * tmh::kSec};
+  const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+
+  std::vector<std::vector<double>> rows;
+  for (const tmh::SimDuration sleep : sleeps) {
+    // Baseline: the interactive task alone on the machine.
+    tmh::InteractiveConfig config;
+    config.sleep_time = sleep;
+    const tmh::InteractiveMetrics alone =
+        tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
+    const tmh::ExperimentResult with_o =
+        tmh::RunBench(matvec, args.scale, tmh::AppVersion::kOriginal, true, sleep);
+    const tmh::ExperimentResult with_p =
+        tmh::RunBench(matvec, args.scale, tmh::AppVersion::kPrefetch, true, sleep);
+    rows.push_back({tmh::ToSeconds(sleep), alone.mean_response_ns / 1e6,
+                    with_o.interactive->mean_response_ns / 1e6,
+                    with_p.interactive->mean_response_ns / 1e6,
+                    with_o.interactive->mean_fault_service_ns / 1e6,
+                    with_p.interactive->mean_fault_service_ns / 1e6});
+  }
+  tmh::PrintSeries("mean interactive response time (ms) vs sleep time (s)",
+                   {"sleep_s", "alone_ms", "with_original_ms", "with_prefetch_ms",
+                    "fault_svc_O_ms", "fault_svc_P_ms"},
+                   rows);
+  std::printf(
+      "Expected shape: the 'alone' curve is flat and tiny; 'original' grows with the\n"
+      "sleep time as the paging daemon erodes the sleeping task's pages; 'prefetch'\n"
+      "rises earlier, faster, and to a higher level (Section 1.1). The fault-service\n"
+      "columns show the second mechanism: under the prefetching hog, each of the\n"
+      "task's page-ins also waits behind a queue of outstanding prefetch reads.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the substrate's hot paths: the
+// event queue, the free list, the residency bitmap, the compiler pass, and a
+// small end-to-end experiment. These guard the simulator's own performance,
+// which bounds how large a paper-scale experiment is practical.
+
+#include <benchmark/benchmark.h>
+
+#include "src/compiler/compile.h"
+#include "src/core/experiment.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/runtime_layer.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/vm/free_list.h"
+#include "src/vm/residency_bitmap.h"
+#include "src/workloads/workloads.h"
+
+namespace tmh {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.ScheduleAt((i * 7919) % 100000, [] {});
+    }
+    q.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_FreeListChurn(benchmark::State& state) {
+  const int64_t frames = state.range(0);
+  FreeList list(frames);
+  for (FrameId f = 0; f < frames; ++f) {
+    list.PushTail(f);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const FrameId f = list.PopHead();
+    if (rng.NextBelow(2) == 0) {
+      list.PushTail(f);
+    } else {
+      list.PushHead(f);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreeListChurn)->Arg(4800);
+
+void BM_BitmapSetTestClear(benchmark::State& state) {
+  ResidencyBitmap bitmap(32768);
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto page = static_cast<VPage>(rng.NextBelow(32768));
+    bitmap.Set(page);
+    benchmark::DoNotOptimize(bitmap.Test(page));
+    bitmap.Clear(page);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapSetTestClear);
+
+void BM_CompilerPass(benchmark::State& state) {
+  const SourceProgram program = MakeMgrid(1.0);  // the most nests and refs
+  const MachineConfig machine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileVersion(program, machine, AppVersion::kBuffered));
+  }
+}
+BENCHMARK(BM_CompilerPass);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  // How fast the interpreter walks a paper-scale streaming nest (ops/sec
+  // bounds how large an experiment is practical).
+  const SourceProgram source = MakeEmbar(1.0);
+  const CompilerTarget target;
+  const CompiledProgram program = Compile(source, target, CompileOptions{false, false});
+  MachineConfig machine;
+  for (auto _ : state) {
+    Kernel kernel(machine);
+    AddressSpace* as = kernel.CreateAddressSpace(
+        "as", (program.layout.total_pages() + source.text_pages) * machine.page_size_bytes);
+    as->AddRegion(Region{"data", 0, program.layout.total_pages(), Backing::kSwap});
+    as->AddRegion(Region{"text", program.layout.total_pages(), source.text_pages,
+                         Backing::kZeroFill});
+    Interpreter interp(&program, as, nullptr);
+    int64_t ops = 0;
+    while (interp.Next(kernel).kind != Op::Kind::kExit) {
+      ++ops;
+    }
+    state.SetItemsProcessed(state.items_processed() + ops);
+  }
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_RuntimeHintFiltering(benchmark::State& state) {
+  // The hint-check fast path: CGM issues tens of millions of these.
+  MachineConfig machine;
+  machine.user_memory_bytes = 8 * 1024 * 1024;
+  Kernel kernel(machine);
+  kernel.StartDaemons();
+  AddressSpace* as = kernel.CreateAddressSpace("as", 4 * 1024 * 1024);
+  as->AddRegion(Region{"data", 0, as->num_pages(), Backing::kSwap});
+  as->AttachPagingDirected(0, as->num_pages());
+  RuntimeOptions options;
+  options.num_prefetch_threads = 1;
+  RuntimeLayer layer(&kernel, as, options);
+  for (VPage p = 0; p < as->num_pages(); ++p) {
+    as->bitmap()->Set(p);
+  }
+  std::vector<Op> out;
+  VPage page = 0;
+  for (auto _ : state) {
+    layer.OnReleaseHint(page, 0, 1, out);
+    page = (page + 1) % as->num_pages();
+    out.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeHintFiltering);
+
+void BM_EndToEndExperiment(benchmark::State& state) {
+  // A small but complete experiment: compiler + runtime + kernel + disks.
+  for (auto _ : state) {
+    ExperimentSpec spec;
+    spec.machine.user_memory_bytes = static_cast<int64_t>(7.5 * 1024 * 1024);
+    spec.workload = MakeMatvec(0.1);
+    spec.version = AppVersion::kBuffered;
+    benchmark::DoNotOptimize(RunExperiment(spec));
+  }
+}
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tmh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: hardware characteristics of the (simulated) experimental platform.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/os/config.h"
+
+int main(int argc, char** argv) {
+  const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
+  const tmh::MachineConfig config = tmh::BenchMachine(args.scale);
+  const tmh::DiskParams& disk = config.swap.disk_params;
+
+  tmh::PrintHeader("Table 1: hardware characteristics", args.scale);
+  tmh::ReportTable table({"parameter", "value"});
+  table.AddRow({"processors", std::to_string(config.num_cpus) + " (Origin 200, R10000-class)"});
+  table.AddRow({"page size", std::to_string(config.page_size_bytes / 1024) + " KB"});
+  table.AddRow({"memory available to user programs",
+                tmh::FormatDouble(static_cast<double>(config.user_memory_bytes) / (1024 * 1024),
+                                  1) + " MB (" + std::to_string(config.num_frames()) + " pages)"});
+  table.AddRow({"swap disks",
+                std::to_string(config.swap.num_disks) + " (Cheetah 4LP-class), striped"});
+  table.AddRow({"SCSI adapters",
+                std::to_string((config.swap.num_disks + config.swap.disks_per_controller - 1) /
+                               config.swap.disks_per_controller)});
+  table.AddRow({"disk average seek", tmh::FormatSeconds(tmh::ToSeconds(disk.avg_seek))});
+  table.AddRow({"disk half rotation", tmh::FormatSeconds(tmh::ToSeconds(disk.half_rotation))});
+  table.AddRow({"disk transfer rate",
+                std::to_string(disk.transfer_bytes_per_sec / (1000 * 1000)) + " MB/s"});
+  table.AddRow({"page read service time (random)",
+                tmh::FormatSeconds(tmh::ToSeconds(disk.avg_seek + disk.half_rotation +
+                                                  disk.TransferTime(config.page_size_bytes) +
+                                                  disk.controller_overhead))});
+  table.AddRow({"scheduler quantum", tmh::FormatSeconds(tmh::ToSeconds(config.quantum))});
+  table.AddRow({"min_freemem", std::to_string(config.tunables.min_freemem_pages) + " pages"});
+  table.AddRow({"paging daemon period",
+                tmh::FormatSeconds(tmh::ToSeconds(config.tunables.daemon_period))});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Can you fix the memory-hog problem by tuning the OS instead? This example
+// sweeps the paging daemon's tunables (min_freemem, activation period, sweep
+// rate) under the prefetching-only MATVEC and compares the best of them
+// against simply letting the application release its own pages — the paper's
+// argument that application-directed management beats policy tuning.
+//
+//   ./build/examples/policy_tuning [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+struct Row {
+  std::string label;
+  tmh::ExperimentResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+
+  auto machine_at = [&](int64_t min_freemem, tmh::SimDuration period, double sweep) {
+    tmh::MachineConfig machine;
+    machine.user_memory_bytes =
+        static_cast<int64_t>(static_cast<double>(machine.user_memory_bytes) * scale);
+    machine.tunables.min_freemem_pages = min_freemem;
+    machine.tunables.target_freemem_pages = 3 * min_freemem;
+    machine.tunables.daemon_period = period;
+    machine.tunables.daemon_min_sweep_fraction = sweep;
+    return machine;
+  };
+
+  auto run = [&](const tmh::MachineConfig& machine, tmh::AppVersion version) {
+    tmh::ExperimentSpec spec;
+    spec.machine = machine;
+    spec.workload = matvec.factory(scale);
+    spec.version = version;
+    spec.with_interactive = true;
+    spec.interactive.sleep_time = 5 * tmh::kSec;
+    return tmh::RunExperiment(spec);
+  };
+
+  std::printf("Tuning the OS under MATVEC-P vs letting the app release (scale %.2f)\n\n", scale);
+  std::vector<Row> rows;
+  rows.push_back({"P, default tunables", run(machine_at(64, 250 * tmh::kMsec, 0.25),
+                                             tmh::AppVersion::kPrefetch)});
+  rows.push_back({"P, min_freemem x4", run(machine_at(256, 250 * tmh::kMsec, 0.25),
+                                           tmh::AppVersion::kPrefetch)});
+  rows.push_back({"P, daemon 4x faster", run(machine_at(64, 60 * tmh::kMsec, 0.25),
+                                             tmh::AppVersion::kPrefetch)});
+  rows.push_back({"P, gentle sweeps (5%)", run(machine_at(64, 250 * tmh::kMsec, 0.05),
+                                               tmh::AppVersion::kPrefetch)});
+  rows.push_back({"B, default tunables", run(machine_at(64, 250 * tmh::kMsec, 0.25),
+                                             tmh::AppVersion::kBuffered)});
+
+  tmh::ReportTable table({"configuration", "app exec", "interactive response",
+                          "interactive hf/sweep", "daemon stolen"});
+  for (const Row& row : rows) {
+    table.AddRow({row.label,
+                  tmh::FormatSeconds(tmh::ToSeconds(row.result.app.times.Execution())),
+                  tmh::FormatSeconds(row.result.interactive->mean_response_ns / 1e9),
+                  tmh::FormatDouble(row.result.interactive->hard_faults_per_sweep, 1),
+                  tmh::FormatCount(row.result.kernel.daemon_pages_stolen)});
+  }
+  table.Print();
+  std::printf(
+      "\nNo tunable setting rescues both sides: bigger free targets or faster sweeps\n"
+      "steal the interactive task's pages even sooner, gentler sweeps starve the\n"
+      "prefetcher. Compiler-inserted releases (B) win on both axes at once, without\n"
+      "touching the default policy — the paper's central argument.\n");
+  return 0;
+}

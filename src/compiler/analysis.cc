@@ -1,0 +1,214 @@
+#include "src/compiler/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+namespace tmh {
+
+int32_t ReusePriority(const std::vector<int>& temporal_loops) {
+  int32_t priority = 0;
+  for (const int depth : temporal_loops) {
+    assert(depth >= 0 && depth < 30);
+    priority += static_cast<int32_t>(1) << depth;
+  }
+  return priority;
+}
+
+int64_t FootprintPages(const SourceProgram& program, const LoopNest& nest, const ArrayRef& ref,
+                       int from_depth, const ArrayLayout& layout) {
+  const ArrayDecl& array = program.arrays[static_cast<size_t>(ref.array)];
+  if (ref.IsIndirect()) {
+    // A random-indexed reference can touch the whole array.
+    return layout.PageCount(ref.array);
+  }
+  // Span of element indices covered while loops >= from_depth run once.
+  int64_t span_elements = 0;
+  for (int d = from_depth; d < nest.depth(); ++d) {
+    const Loop& loop = nest.loops[static_cast<size_t>(d)];
+    const int64_t coeff = d < static_cast<int>(ref.affine.coeffs.size())
+                              ? ref.affine.coeffs[static_cast<size_t>(d)]
+                              : 0;
+    if (coeff == 0) {
+      continue;
+    }
+    if (!loop.upper_known) {
+      return kUnknownFootprint;
+    }
+    const int64_t trips = std::max<int64_t>(0, (loop.upper - loop.lower + loop.step - 1) / loop.step);
+    span_elements += std::abs(coeff) * std::max<int64_t>(0, trips - 1);
+  }
+  const int64_t span_bytes = (span_elements + 1) * array.element_size;
+  const int64_t pages = span_bytes / layout.page_size() + 1;
+  return std::min(pages, layout.PageCount(ref.array) + 1);
+}
+
+namespace {
+
+// Traversal direction of the innermost nonzero stride (+1 ascending).
+int TraversalDirection(const ArrayRef& ref) {
+  for (auto it = ref.affine.coeffs.rbegin(); it != ref.affine.coeffs.rend(); ++it) {
+    if (*it != 0) {
+      return *it > 0 ? 1 : -1;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+NestAnalysis AnalyzeNest(const SourceProgram& program, const LoopNest& nest,
+                         const ArrayLayout& layout, const CompilerTarget& target) {
+  NestAnalysis out;
+  out.refs.resize(nest.refs.size());
+  const int depth = nest.depth();
+
+  out.bounds_known = true;
+  for (const Loop& loop : nest.loops) {
+    out.bounds_known = out.bounds_known && loop.upper_known;
+  }
+
+  // --- 1. intrinsic reuse per reference -------------------------------------
+  for (size_t r = 0; r < nest.refs.size(); ++r) {
+    const ArrayRef& ref = nest.refs[r];
+    RefReuse& reuse = out.refs[r];
+    reuse.indirect = ref.IsIndirect();
+    if (!reuse.indirect) {
+      for (int d = 0; d < depth; ++d) {
+        const int64_t coeff = d < static_cast<int>(ref.affine.coeffs.size())
+                                  ? ref.affine.coeffs[static_cast<size_t>(d)]
+                                  : 0;
+        if (coeff == 0) {
+          reuse.temporal_loops.push_back(d);
+        }
+      }
+      const ArrayDecl& array = program.arrays[static_cast<size_t>(ref.array)];
+      const int64_t inner_coeff = ref.affine.coeffs.empty() ? 0 : ref.affine.coeffs.back();
+      reuse.innermost_byte_stride = inner_coeff * array.element_size;
+    }
+    reuse.priority = ReusePriority(reuse.temporal_loops);
+  }
+
+  // --- 2. group locality ------------------------------------------------------
+  // References to the same array with identical coefficient vectors (and both
+  // direct) effectively share data when their constants are close: a few pages
+  // at most, else they are independent streams (a stencil's far planes, a
+  // butterfly's two halves).
+  std::map<std::tuple<int32_t, std::vector<int64_t>>, std::vector<size_t>> candidates;
+  for (size_t r = 0; r < nest.refs.size(); ++r) {
+    const ArrayRef& ref = nest.refs[r];
+    if (ref.IsIndirect()) {
+      // Indirect refs form singleton groups.
+      out.refs[r].group = out.num_groups++;
+      out.refs[r].is_group_leader = true;
+      out.refs[r].is_group_trailer = true;
+      continue;
+    }
+    candidates[{ref.array, ref.affine.coeffs}].push_back(r);
+  }
+  for (auto& [key, members] : candidates) {
+    const ArrayDecl& array = program.arrays[static_cast<size_t>(std::get<0>(key))];
+    // Two refs share data when their constant offset lies within the span one
+    // iteration of the outermost loop covers (the paper's Section 2.4 stencil:
+    // a[i+1][*] is re-touched by a[i-1][*] two i-iterations later). The span
+    // is only computable with known inner bounds; otherwise fall back to a
+    // conservative couple of pages, treating far-apart refs as independent
+    // streams (an FFT's butterfly halves are disjoint and must not group).
+    const std::vector<int64_t>& coeffs = std::get<1>(key);
+    int64_t span = 0;
+    bool span_known = true;
+    for (size_t d = 1; d < coeffs.size() && d < nest.loops.size(); ++d) {
+      const Loop& loop = nest.loops[d];
+      if (coeffs[d] == 0) {
+        continue;
+      }
+      if (!loop.upper_known) {
+        span_known = false;
+        break;
+      }
+      const int64_t trips = std::max<int64_t>(1, (loop.upper - loop.lower + loop.step - 1) / loop.step);
+      span += std::abs(coeffs[d]) * (trips - 1);
+    }
+    const int64_t inner_coeff = coeffs.empty() ? 0 : std::abs(coeffs.back());
+    const int64_t pages_gap = std::max<int64_t>(1, 2 * target.page_size / array.element_size);
+    const int64_t max_gap_elements =
+        (span_known && coeffs.size() > 1) ? std::max(span + 2 * inner_coeff + 1, pages_gap)
+                                          : pages_gap;
+    std::sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+      return nest.refs[a].affine.constant < nest.refs[b].affine.constant;
+    });
+    // Split the constant-sorted run into clusters of nearby references.
+    size_t start = 0;
+    while (start < members.size()) {
+      size_t end = start + 1;
+      while (end < members.size() &&
+             nest.refs[members[end]].affine.constant -
+                     nest.refs[members[end - 1]].affine.constant <=
+                 max_gap_elements) {
+        ++end;
+      }
+      const int group_id = out.num_groups++;
+      const int dir = TraversalDirection(nest.refs[members[start]]);
+      for (size_t i = start; i < end; ++i) {
+        out.refs[members[i]].group = group_id;
+      }
+      // Ascending traversal: the largest constant touches data first.
+      const size_t leader = dir > 0 ? members[end - 1] : members[start];
+      const size_t trailer = dir > 0 ? members[start] : members[end - 1];
+      out.refs[leader].is_group_leader = true;
+      out.refs[trailer].is_group_trailer = true;
+      start = end;
+    }
+  }
+
+  // --- 3. locality: is the temporal reuse exploitable? ------------------------
+  const int64_t memory_pages = target.memory_bytes / target.page_size;
+  for (size_t r = 0; r < nest.refs.size(); ++r) {
+    RefReuse& reuse = out.refs[r];
+    if (reuse.temporal_loops.empty() || reuse.indirect) {
+      continue;
+    }
+    // Reuse is carried by the deepest loop the subscript ignores: successive
+    // iterations of that loop re-touch the data. The volume touched between
+    // reuses is one full execution of everything deeper.
+    const int carrier = *std::max_element(reuse.temporal_loops.begin(),
+                                          reuse.temporal_loops.end());
+    int64_t volume_pages = 0;
+    for (const ArrayRef& other : nest.refs) {
+      volume_pages += FootprintPages(program, nest, other, carrier + 1, layout);
+      if (volume_pages >= kUnknownFootprint) {
+        break;
+      }
+    }
+    reuse.exploitable_temporal = volume_pages < memory_pages;
+  }
+
+  // --- 4. hint-insertion decisions --------------------------------------------
+  for (size_t r = 0; r < nest.refs.size(); ++r) {
+    const ArrayRef& ref = nest.refs[r];
+    RefReuse& reuse = out.refs[r];
+    // Prefetch the leading reference of each group unless its pages are
+    // expected to have remained in memory since the last reuse.
+    reuse.needs_prefetch = reuse.is_group_leader && !reuse.exploitable_temporal;
+    // Release the trailing reference unless (a) the data survives in memory
+    // until its next reuse, (b) the reference is indirect, or (c) its stride
+    // pattern defeats the analysis.
+    reuse.needs_release = reuse.is_group_trailer && !reuse.exploitable_temporal &&
+                          !reuse.indirect && ref.release_analyzable;
+  }
+
+  // Whole-nest footprint for reports.
+  int64_t total = 0;
+  for (const ArrayRef& ref : nest.refs) {
+    const int64_t fp = FootprintPages(program, nest, ref, 0, layout);
+    total = (fp >= kUnknownFootprint) ? kUnknownFootprint : total + fp;
+    if (total >= kUnknownFootprint) {
+      break;
+    }
+  }
+  out.footprint_pages = total;
+  return out;
+}
+
+}  // namespace tmh

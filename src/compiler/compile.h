@@ -1,0 +1,95 @@
+// Hint insertion: turns a SourceProgram into a CompiledProgram annotated with
+// prefetch/release directives (the stand-in for SUIF emitting calls like
+//   sim_prefetch_release(pf_addr, rel_addr, n_pages, priority, tag)
+// into the generated executable, Figure 5).
+//
+// Software pipelining: prefetches are scheduled `distance` pages (affine refs)
+// or iterations (indirect refs) ahead, where distance covers the page-fault
+// latency at the nest's compute rate. Loop splitting shows up at run time as a
+// prologue (the first `distance` pages are prefetched on nest entry), a steady
+// state (hints fire as references cross page boundaries), and an epilogue (the
+// run-time layer's one-behind release filter is flushed at nest exit).
+//
+// When loop bounds are unknown the compiler cannot strip-mine hint emission to
+// page boundaries, so directives are evaluated every iteration and the
+// run-time layer filters the redundant ones — the source of the extra user
+// time the paper reports for CGM.
+
+#ifndef TMH_SRC_COMPILER_COMPILE_H_
+#define TMH_SRC_COMPILER_COMPILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compiler/analysis.h"
+#include "src/compiler/ir.h"
+
+namespace tmh {
+
+struct HintDirective {
+  enum class Kind : uint8_t { kPrefetch, kRelease };
+  Kind kind = Kind::kPrefetch;
+  int32_t ref = 0;       // index into the nest's refs
+  int32_t tag = 0;       // request identifier (unique per directive)
+  int32_t priority = 0;  // release only (Eq. 2)
+  // Prefetch: pages ahead for affine refs, iterations ahead for indirect refs.
+  int64_t distance = 1;
+  // Evaluate on every innermost iteration instead of only at page crossings.
+  bool every_iteration = false;
+  int direction = 1;  // traversal direction of the reference (+1 ascending)
+};
+
+struct CompiledNest {
+  LoopNest nest;
+  NestAnalysis analysis;
+  std::vector<HintDirective> directives;
+};
+
+struct CompileOptions {
+  bool insert_prefetches = true;
+  bool insert_releases = true;
+  // The paper's stated future work for MGRID/FFTPDE ("generate more adaptive
+  // code"): when true, the executable re-specializes each unknown-bound nest
+  // on entry, once the actual trip counts are known — hints strip-mine to
+  // page crossings and the locality analysis uses real volumes.
+  bool adaptive_recompilation = false;
+  // Hand-tuned oracle baseline: analyze with perfect knowledge — actual
+  // strides (runtime expressions) and known bounds — the stand-in for a
+  // programmer explicitly managing the I/O, which the paper's introduction
+  // contrasts automation against. Upper-bounds what any analysis could do.
+  bool oracle = false;
+};
+
+struct CompileStats {
+  int prefetch_directives = 0;
+  int release_directives = 0;
+  int release_directives_with_reuse = 0;  // priority > 0
+  int groups = 0;
+  int indirect_refs = 0;
+  int nests_with_unknown_bounds = 0;
+};
+
+struct CompiledProgram {
+  SourceProgram source;
+  ArrayLayout layout;
+  std::vector<CompiledNest> nests;
+  CompileOptions options;
+  CompileStats stats;
+  CompilerTarget target;  // kept for adaptive re-specialization at run time
+};
+
+// Runs the full pass: reuse analysis, locality analysis, hint insertion.
+CompiledProgram Compile(const SourceProgram& program, const CompilerTarget& target,
+                        const CompileOptions& options);
+
+// Compiles one nest (analysis + directive construction), assigning tags from
+// `*next_tag` upward. Exposed for adaptive executables that re-specialize a
+// nest once its actual bounds are known. `stats` may be null.
+CompiledNest CompileNest(const SourceProgram& program, const LoopNest& nest,
+                         const ArrayLayout& layout, const CompilerTarget& target,
+                         const CompileOptions& options, int32_t* next_tag,
+                         CompileStats* stats);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_COMPILER_COMPILE_H_

@@ -1,0 +1,25 @@
+#include "src/compiler/ir.h"
+
+#include <cassert>
+
+namespace tmh {
+
+ArrayLayout::ArrayLayout(const SourceProgram& program, int64_t page_size_bytes)
+    : page_size_(page_size_bytes) {
+  assert(page_size_ > 0);
+  base_pages_.reserve(program.arrays.size());
+  page_counts_.reserve(program.arrays.size());
+  element_sizes_.reserve(program.arrays.size());
+  int64_t next_page = 0;
+  for (const ArrayDecl& a : program.arrays) {
+    assert(a.element_size > 0 && a.num_elements >= 0);
+    base_pages_.push_back(next_page);
+    const int64_t pages = (a.size_bytes() + page_size_ - 1) / page_size_;
+    page_counts_.push_back(pages);
+    element_sizes_.push_back(a.element_size);
+    next_page += pages;
+  }
+  total_pages_ = next_page;
+}
+
+}  // namespace tmh

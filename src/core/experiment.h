@@ -1,0 +1,146 @@
+// Public experiment API: compile a workload at one of the paper's four
+// treatment levels and run it on the simulated machine, optionally alongside
+// the interactive task.
+//
+//   O — original program: no hints, no PagingDirected PM.
+//   P — prefetching only (compiler prefetch hints + run-time layer + pool).
+//   R — prefetching + aggressive releasing.
+//   B — prefetching + release buffering (priority queues, near-limit drains).
+//
+// This is the library's primary entry point; every bench binary and example
+// builds on RunExperiment / RunInteractiveAlone.
+
+#ifndef TMH_SRC_CORE_EXPERIMENT_H_
+#define TMH_SRC_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compile.h"
+#include "src/os/config.h"
+#include "src/os/kernel.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/runtime_layer.h"
+#include "src/workloads/interactive.h"
+
+namespace tmh {
+
+// The paper's four treatment levels, plus kReactive — the VINO-style
+// OS-pulls-victims alternative of Section 2.2, implemented for comparison
+// (label "V"; not part of the paper's bars).
+enum class AppVersion : uint8_t { kOriginal, kPrefetch, kRelease, kBuffered, kReactive };
+
+// Short label used in reports: O / P / R / B / V.
+const char* VersionLabel(AppVersion version);
+
+// The paper's four versions in its bar order (excludes kReactive).
+const std::vector<AppVersion>& AllVersions();
+
+// Derives the parameters handed to the compiler (Section 3.2: memory size,
+// page size, fault latency) from the machine it will run on.
+CompilerTarget TargetFor(const MachineConfig& machine);
+
+// Compiles `source` at the given treatment level. `adaptive` enables run-time
+// re-specialization of unknown-bound nests (the paper's future-work fix);
+// `oracle` gives the analysis perfect knowledge (the hand-tuned baseline).
+CompiledProgram CompileVersion(const SourceProgram& source, const MachineConfig& machine,
+                               AppVersion version, bool adaptive = false, bool oracle = false);
+
+struct ExperimentSpec {
+  MachineConfig machine;
+  SourceProgram workload;
+  AppVersion version = AppVersion::kOriginal;
+  RuntimeOptions runtime;  // buffered flag is overridden by `version`
+  bool with_interactive = false;
+  InteractiveConfig interactive;
+  uint64_t max_events = 400'000'000;
+  // Nonzero: sample a time-series trace (free memory, resident sets, reclaim
+  // counters) at this period; retrieve it from ExperimentResult::trace.
+  SimDuration trace_period = 0;
+  // Adaptive code generation: re-specialize unknown-bound nests at run time.
+  bool adaptive = false;
+  // Hand-tuned oracle: compile with perfect knowledge (see CompileOptions).
+  bool oracle = false;
+};
+
+struct AppMetrics {
+  TimeBreakdown times;
+  FaultStats faults;
+  AsStats as_stats;
+  InterpreterStats interp;
+  CompileStats compile;
+  std::optional<RuntimeStats> runtime;  // absent for version O
+  SimDuration wall = 0;                 // start-to-finish of the app thread
+};
+
+struct InteractiveMetrics {
+  int64_t sweeps = 0;
+  double mean_response_ns = 0;
+  double max_response_ns = 0;
+  std::vector<SimDuration> responses;
+  FaultStats faults;
+  double hard_faults_per_sweep = 0;
+  // Mean time one of the task's page-ins spent blocked on I/O (ns): Section
+  // 1.1's inflated "page fault service time" under a memory hog.
+  double mean_fault_service_ns = 0;
+};
+
+struct ExperimentResult {
+  AppMetrics app;
+  std::optional<InteractiveMetrics> interactive;
+  KernelStats kernel;
+  TraceRecorder trace;  // populated when spec.trace_period > 0
+  uint64_t swap_reads = 0;
+  uint64_t swap_writes = 0;
+  uint64_t free_list_rescues = 0;
+  uint64_t daemon_activations = 0;
+  bool completed = false;  // app thread reached kDone within max_events
+};
+
+// Runs one out-of-core experiment to completion of the out-of-core app.
+ExperimentResult RunExperiment(const ExperimentSpec& spec);
+
+// --- multiprogrammed experiments -------------------------------------------------
+// Several out-of-core applications sharing the machine (the paper's stated
+// motivation: making memory hogs coexist in a multiprogrammed environment).
+
+struct MultiAppSpec {
+  SourceProgram workload;
+  AppVersion version = AppVersion::kOriginal;
+  RuntimeOptions runtime;
+  bool adaptive = false;
+  bool oracle = false;
+};
+
+struct MultiExperimentSpec {
+  MachineConfig machine;
+  std::vector<MultiAppSpec> apps;
+  bool with_interactive = false;
+  InteractiveConfig interactive;
+  uint64_t max_events = 800'000'000;
+  SimDuration trace_period = 0;
+};
+
+struct MultiExperimentResult {
+  std::vector<AppMetrics> apps;  // one per MultiAppSpec, same order
+  std::optional<InteractiveMetrics> interactive;
+  KernelStats kernel;
+  TraceRecorder trace;
+  uint64_t swap_reads = 0;
+  uint64_t swap_writes = 0;
+  bool completed = false;  // every app finished within the event budget
+};
+
+// Runs until every out-of-core app completes.
+MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec);
+
+// Baseline: the interactive task alone on the machine for `sweeps` sweeps.
+InteractiveMetrics RunInteractiveAlone(const MachineConfig& machine,
+                                       const InteractiveConfig& config, int64_t sweeps = 20);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_CORE_EXPERIMENT_H_

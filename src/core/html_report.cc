@@ -1,0 +1,339 @@
+#include "src/core/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tmh {
+namespace {
+
+// The validated reference categorical palette (fixed slot order; the dark
+// column is the same hues re-stepped for the dark surface, validated as a
+// set). Identity follows the slot, never the series count.
+struct Slot {
+  const char* light;
+  const char* dark;
+};
+constexpr Slot kSlots[8] = {
+    {"#2a78d6", "#3987e5"},  // blue
+    {"#1baf7a", "#199e70"},  // aqua
+    {"#eda100", "#c98500"},  // yellow
+    {"#008300", "#008300"},  // green
+    {"#4a3aa7", "#9085e9"},  // violet
+    {"#e34948", "#e66767"},  // red
+    {"#e87ba4", "#d55181"},  // magenta
+    {"#eb6834", "#d95926"},  // orange
+};
+
+std::string Fmt(const char* format, double a, double b = 0, double c = 0, double d = 0) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, a, b, c, d);
+  return buf;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Compact value formatting for tick and tooltip labels.
+std::string Compact(double v) {
+  char buf[48];
+  if (std::abs(v) >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (std::abs(v) >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", v / 1e3);
+  } else if (std::abs(v) >= 100 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+// Geometry shared by all charts.
+constexpr double kW = 860, kH = 300;
+constexpr double kL = 56, kR = 150, kT = 16, kB = 36;  // margins (right holds labels)
+constexpr double kPlotW = kW - kL - kR;
+constexpr double kPlotH = kH - kT - kB;
+
+void RenderChart(std::string& out, const TraceRecorder& trace, const ChartSpec& spec,
+                 int chart_index) {
+  const auto& samples = trace.samples();
+  std::vector<int> series = spec.series;
+  std::string dropped_note;
+  if (series.size() > 8) {
+    dropped_note = Fmt("<p class=\"note\">%0.f further series omitted "
+                       "(eight categorical slots; identity is never recolored).</p>",
+                       static_cast<double>(series.size() - 8));
+    series.resize(8);
+  }
+  if (samples.empty() || series.empty()) {
+    out += "<p class=\"note\">(no samples)</p>\n";
+    return;
+  }
+
+  const double t0 = ToSeconds(samples.front().when);
+  const double t1 = std::max(ToSeconds(samples.back().when), t0 + 1e-9);
+  double vmax = 0;
+  for (const TraceSample& s : samples) {
+    for (const int idx : series) {
+      vmax = std::max(vmax, s.values[static_cast<size_t>(idx)]);
+    }
+  }
+  vmax = std::max(vmax, 1.0) * 1.05;
+
+  auto x_of = [&](double t) { return kL + (t - t0) / (t1 - t0) * kPlotW; };
+  auto y_of = [&](double v) { return kT + (1.0 - v / vmax) * kPlotH; };
+
+  out += "<section class=\"chart\">\n";
+  out += "<h2>" + Escape(spec.title) + "</h2>\n";
+
+  // Legend (always present for >= 2 series; chips carry identity, text wears ink).
+  if (series.size() >= 2) {
+    out += "<div class=\"legend\">";
+    for (size_t i = 0; i < series.size(); ++i) {
+      out += Fmt("<span class=\"chip\"><i style=\"background:var(--series-%.0f)\"></i>",
+                 static_cast<double>(i + 1));
+      out += Escape(trace.series()[static_cast<size_t>(series[i])]) + "</span>";
+    }
+    out += "</div>\n";
+  }
+
+  out += Fmt("<div class=\"plot\" data-chart=\"%.0f\">", static_cast<double>(chart_index));
+  out += Fmt("<svg viewBox=\"0 0 %.0f %.0f\" role=\"img\">", kW, kH);
+
+  // Recessive grid: four horizontal lines + y tick labels.
+  for (int g = 0; g <= 4; ++g) {
+    const double v = vmax * g / 4.0;
+    const double y = y_of(v);
+    out += Fmt("<line class=\"grid\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>", kL, y,
+               kL + kPlotW, y);
+    out += Fmt("<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">", kL - 6,
+               y + 4);
+    out += Compact(v) + "</text>";
+  }
+  // X tick labels (5 across).
+  for (int g = 0; g <= 4; ++g) {
+    const double t = t0 + (t1 - t0) * g / 4.0;
+    out += Fmt("<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">",
+               x_of(t), kT + kPlotH + 18);
+    out += Compact(t) + "s</text>";
+  }
+  // Axis baseline.
+  out += Fmt("<line class=\"axis\" x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>", kL,
+             kT + kPlotH, kL + kPlotW, kT + kPlotH);
+  // Y-axis label.
+  out += Fmt("<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" text-anchor=\"start\">", 4.0, kT + 4);
+  out += Escape(spec.y_label) + "</text>";
+
+  // Series polylines (2px) with a direct label at each line's end.
+  const size_t stride = std::max<size_t>(1, samples.size() / 2000);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const int idx = series[i];
+    out += Fmt("<polyline class=\"line\" style=\"stroke:var(--series-%.0f)\" points=\"",
+               static_cast<double>(i + 1));
+    for (size_t s = 0; s < samples.size(); s += stride) {
+      out += Fmt("%.1f,%.1f ", x_of(ToSeconds(samples[s].when)),
+                 y_of(samples[s].values[static_cast<size_t>(idx)]));
+    }
+    // Always include the final sample.
+    out += Fmt("%.1f,%.1f\"/>", x_of(ToSeconds(samples.back().when)),
+               y_of(samples.back().values[static_cast<size_t>(idx)]));
+    if (series.size() <= 4) {
+      // Selective direct label: series name at the line end, in ink, with a
+      // colored marker carrying identity.
+      const double yl = y_of(samples.back().values[static_cast<size_t>(idx)]);
+      out += Fmt("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" style=\"fill:var(--series-%.0f)\"/>",
+                 kL + kPlotW + 4, yl, static_cast<double>(i + 1));
+      out += Fmt("<text class=\"dlabel\" x=\"%.1f\" y=\"%.1f\">", kL + kPlotW + 10, yl + 4);
+      out += Escape(trace.series()[static_cast<size_t>(idx)]) + "</text>";
+    }
+  }
+
+  // Hover layer scaffolding: crosshair + capture rect (driven by inline JS).
+  out += "<line class=\"crosshair\" y1=\"" + Fmt("%.1f", kT) + "\" y2=\"" +
+         Fmt("%.1f", kT + kPlotH) + "\" x1=\"-10\" x2=\"-10\"/>";
+  out += Fmt("<rect class=\"capture\" x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\"/>",
+             kL, kT, kPlotW, kPlotH);
+  out += "</svg><div class=\"tooltip\"></div></div>\n";
+
+  // Embedded data for the hover layer and the table view.
+  out += Fmt("<script type=\"application/json\" id=\"data-%.0f\">",
+             static_cast<double>(chart_index));
+  out += "{\"t0\":" + Fmt("%.6f", t0) + ",\"t1\":" + Fmt("%.6f", t1) +
+         ",\"vmax\":" + Fmt("%.6f", vmax) + ",\"names\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += (i != 0 ? "," : "");
+    out += "\"" + Escape(trace.series()[static_cast<size_t>(series[i])]) + "\"";
+  }
+  out += "],\"rows\":[";
+  for (size_t s = 0; s < samples.size(); s += stride) {
+    out += (s != 0 ? "," : "");
+    out += "[" + Fmt("%.6f", ToSeconds(samples[s].when));
+    for (const int idx : series) {
+      out += "," + Fmt("%.6g", samples[s].values[static_cast<size_t>(idx)]);
+    }
+    out += "]";
+  }
+  out += "]}</script>\n";
+  out += dropped_note;
+
+  // Table view (accessibility fallback; capped for document size).
+  out += "<details><summary>Data table</summary><table><tr><th>time (s)</th>";
+  for (const int idx : series) {
+    out += "<th>" + Escape(trace.series()[static_cast<size_t>(idx)]) + "</th>";
+  }
+  out += "</tr>";
+  const size_t table_stride = std::max<size_t>(1, samples.size() / 200);
+  for (size_t s = 0; s < samples.size(); s += table_stride) {
+    out += "<tr><td>" + Fmt("%.2f", ToSeconds(samples[s].when)) + "</td>";
+    for (const int idx : series) {
+      out += "<td>" + Compact(samples[s].values[static_cast<size_t>(idx)]) + "</td>";
+    }
+    out += "</tr>";
+  }
+  out += "</table></details>\n</section>\n";
+}
+
+const char* kStyle = R"css(
+:root {
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #e4e3df;
+  --series-1: #2a78d6; --series-2: #1baf7a; --series-3: #eda100; --series-4: #008300;
+  --series-5: #4a3aa7; --series-6: #e34948; --series-7: #e87ba4; --series-8: #eb6834;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #34332f;
+    --series-1: #3987e5; --series-2: #199e70; --series-3: #c98500; --series-4: #008300;
+    --series-5: #9085e9; --series-6: #e66767; --series-7: #d55181; --series-8: #d95926;
+  }
+}
+body { background: var(--surface-1); color: var(--text-primary);
+       font: 14px/1.5 system-ui, sans-serif; max-width: 920px; margin: 2em auto; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin: 1.2em 0 0.3em; }
+.legend { display: flex; gap: 1.2em; flex-wrap: wrap; margin: 0.2em 0 0.4em;
+          color: var(--text-secondary); }
+.chip i { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+          margin-right: 5px; }
+.plot { position: relative; }
+svg { width: 100%; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--text-secondary); stroke-width: 1; }
+.tick, .dlabel { fill: var(--text-secondary); font-size: 11px; }
+.dlabel { fill: var(--text-primary); }
+.line { fill: none; stroke-width: 2; }
+.crosshair { stroke: var(--text-secondary); stroke-dasharray: 3 3; }
+.capture { fill: transparent; }
+.tooltip { position: absolute; display: none; background: var(--surface-1);
+           border: 1px solid var(--grid); border-radius: 4px; padding: 6px 9px;
+           pointer-events: none; font-size: 12px; color: var(--text-primary);
+           box-shadow: 0 2px 8px rgba(0,0,0,0.15); white-space: nowrap; }
+details { margin: 0.5em 0 1.5em; color: var(--text-secondary); }
+table { border-collapse: collapse; font-size: 12px; }
+td, th { border: 1px solid var(--grid); padding: 2px 8px; text-align: right; }
+.note { color: var(--text-secondary); font-size: 12px; }
+)css";
+
+// Crosshair + tooltip driver: nearest-sample lookup against the embedded data.
+const char* kScript = R"js(
+document.querySelectorAll('.plot').forEach(function (plot) {
+  var data = JSON.parse(document.getElementById('data-' + plot.dataset.chart).textContent);
+  var svg = plot.querySelector('svg');
+  var cross = plot.querySelector('.crosshair');
+  var tip = plot.querySelector('.tooltip');
+  var L = 56, R = 150, T = 16, B = 36, W = 860, H = 300;
+  svg.addEventListener('mousemove', function (ev) {
+    var box = svg.getBoundingClientRect();
+    var px = (ev.clientX - box.left) * (W / box.width);
+    if (px < L || px > W - R) { tip.style.display = 'none'; return; }
+    var t = data.t0 + (px - L) / (W - L - R) * (data.t1 - data.t0);
+    var best = 0;
+    for (var i = 1; i < data.rows.length; i++) {
+      if (Math.abs(data.rows[i][0] - t) < Math.abs(data.rows[best][0] - t)) best = i;
+    }
+    var row = data.rows[best];
+    var x = L + (row[0] - data.t0) / (data.t1 - data.t0) * (W - L - R);
+    cross.setAttribute('x1', x); cross.setAttribute('x2', x);
+    var html = '<b>t = ' + row[0].toFixed(2) + ' s</b>';
+    for (var s = 0; s < data.names.length; s++) {
+      html += '<br><i style="color:var(--series-' + (s + 1) + ')">&#9632;</i> ' +
+              data.names[s] + ': ' + row[s + 1];
+    }
+    tip.innerHTML = html;
+    tip.style.display = 'block';
+    var left = (x / W) * box.width + 12;
+    if (left > box.width - 180) left -= 200;
+    tip.style.left = left + 'px';
+    tip.style.top = '20px';
+  });
+  svg.addEventListener('mouseleave', function () {
+    tip.style.display = 'none';
+    cross.setAttribute('x1', -10); cross.setAttribute('x2', -10);
+  });
+});
+)js";
+
+}  // namespace
+
+std::string RenderTraceHtml(const TraceRecorder& trace, const std::string& title,
+                            const std::vector<ChartSpec>& charts) {
+  std::string out = "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>" +
+                    Escape(title) + "</title>\n<style>" + kStyle + "</style></head>\n<body>\n";
+  out += "<h1>" + Escape(title) + "</h1>\n";
+  int index = 0;
+  for (const ChartSpec& spec : charts) {
+    RenderChart(out, trace, spec, index++);
+  }
+  out += "<script>" + std::string(kScript) + "</script>\n</body></html>\n";
+  return out;
+}
+
+std::string RenderKernelTraceHtml(const TraceRecorder& trace, const std::string& title) {
+  // Standard kernel trace layout: free_pages, <as>_rss..., then the four
+  // cumulative counters, then swap_queue (see Kernel::StartTracing).
+  const int n = static_cast<int>(trace.series().size());
+  ChartSpec pages{"Resident sets and free memory", "pages", {}};
+  ChartSpec reclaim{"Cumulative reclaim and fault counters", "events", {}};
+  ChartSpec queue{"Swap queue depth", "requests", {}};
+  for (int i = 0; i < n; ++i) {
+    const std::string& name = trace.series()[static_cast<size_t>(i)];
+    if (name == "swap_queue") {
+      queue.series.push_back(i);
+    } else if (name == "daemon_stolen" || name == "releaser_freed" || name == "hard_faults" ||
+               name == "soft_faults") {
+      reclaim.series.push_back(i);
+    } else {
+      pages.series.push_back(i);
+    }
+  }
+  return RenderTraceHtml(trace, title, {pages, reclaim, queue});
+}
+
+bool WriteHtmlFile(const std::string& path, const std::string& html) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(html.data(), 1, html.size(), f) == html.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tmh

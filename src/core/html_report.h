@@ -1,0 +1,41 @@
+// Standalone HTML rendering of a time-series trace.
+//
+// Produces a single self-contained .html file: one line chart per series
+// group (resident-set pages, cumulative reclaim counters, queue depths),
+// light/dark palettes via CSS custom properties, a legend per chart, a
+// crosshair + tooltip hover layer, and a collapsible data table — so a trace
+// can be inspected without any plotting toolchain.
+
+#ifndef TMH_SRC_CORE_HTML_REPORT_H_
+#define TMH_SRC_CORE_HTML_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace tmh {
+
+// One chart: a titled subset of the trace's series sharing a y-axis.
+struct ChartSpec {
+  std::string title;
+  std::string y_label;
+  std::vector<int> series;  // indices into TraceRecorder::series()
+};
+
+// Renders a full HTML document containing one chart per spec. Series beyond
+// the eight categorical slots are dropped with a visible note (never recolor
+// or cycle hues).
+std::string RenderTraceHtml(const TraceRecorder& trace, const std::string& title,
+                            const std::vector<ChartSpec>& charts);
+
+// Convenience: groups a kernel trace's standard series into three charts
+// (pages resident/free, cumulative reclaim counters, swap queue depth).
+std::string RenderKernelTraceHtml(const TraceRecorder& trace, const std::string& title);
+
+// Writes `html` to `path`. Returns false on I/O failure.
+bool WriteHtmlFile(const std::string& path, const std::string& html);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_CORE_HTML_REPORT_H_

@@ -1,0 +1,115 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace tmh {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != '%' && c != 'x' && c != ' ') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReportTable::ReportTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+ReportTable& ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const bool right = align_numeric && LooksNumeric(cells[c]);
+      const size_t pad = widths[c] - cells[c].size();
+      if (c != 0) {
+        out += "  ";
+      }
+      if (right) {
+        out.append(pad, ' ');
+        out += cells[c];
+      } else {
+        out += cells[c];
+        out.append(pad, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') {
+      out.pop_back();
+    }
+    out += '\n';
+  };
+  emit_row(headers_, /*align_numeric=*/false);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c != 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, /*align_numeric=*/true);
+  }
+  return out;
+}
+
+void ReportTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatCount(uint64_t value) { return std::to_string(value); }
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+void PrintSeries(const std::string& title, const std::vector<std::string>& columns,
+                 const std::vector<std::vector<double>>& rows) {
+  std::printf("# %s\n", title.c_str());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%s%s", c == 0 ? "" : "\t", columns[c].c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%.4g", c == 0 ? "" : "\t", row[c]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace tmh

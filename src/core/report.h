@@ -1,0 +1,41 @@
+// Small fixed-width table / series formatting helpers shared by the bench
+// binaries, so every reproduced table and figure prints in a uniform style.
+
+#ifndef TMH_SRC_CORE_REPORT_H_
+#define TMH_SRC_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tmh {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  ReportTable& AddRow(std::vector<std::string> cells);
+
+  // Renders with column widths fitted to content, a header underline, and
+  // right-aligned numeric-looking cells.
+  [[nodiscard]] std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatCount(uint64_t value);
+// Seconds with automatic precision (e.g. "12.3 s", "450 ms").
+std::string FormatSeconds(double seconds);
+
+// Prints a figure-style (x, y...) series block with a title and column names.
+void PrintSeries(const std::string& title, const std::vector<std::string>& columns,
+                 const std::vector<std::vector<double>>& rows);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_CORE_REPORT_H_

@@ -1,0 +1,59 @@
+#include "src/disk/swap_space.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace tmh {
+
+SwapSpace::SwapSpace(EventQueue* queue, const SwapConfig& config, int64_t page_size_bytes)
+    : queue_(queue), page_size_bytes_(page_size_bytes) {
+  assert(config.num_disks > 0 && config.disks_per_controller > 0);
+  const int num_controllers =
+      (config.num_disks + config.disks_per_controller - 1) / config.disks_per_controller;
+  controllers_.reserve(static_cast<size_t>(num_controllers));
+  for (int c = 0; c < num_controllers; ++c) {
+    controllers_.push_back(
+        std::make_unique<ScsiController>(queue_, "scsi" + std::to_string(c)));
+  }
+  disks_.reserve(static_cast<size_t>(config.num_disks));
+  for (int d = 0; d < config.num_disks; ++d) {
+    ScsiController* controller =
+        controllers_[static_cast<size_t>(d / config.disks_per_controller)].get();
+    disks_.push_back(std::make_unique<Disk>(queue_, controller, config.disk_params,
+                                            "disk" + std::to_string(d)));
+  }
+}
+
+void SwapSpace::ReadPage(int64_t swap_page, std::function<void()> done) {
+  ++reads_;
+  Submit(swap_page, page_size_bytes_, /*is_write=*/false, std::move(done));
+}
+
+void SwapSpace::WritePage(int64_t swap_page, std::function<void()> done) {
+  ++writes_;
+  Submit(swap_page, page_size_bytes_, /*is_write=*/true, std::move(done));
+}
+
+void SwapSpace::Submit(int64_t swap_page, int64_t bytes, bool is_write,
+                       std::function<void()> done) {
+  assert(swap_page >= 0);
+  const auto n = static_cast<int64_t>(disks_.size());
+  Disk& disk = *disks_[static_cast<size_t>(swap_page % n)];
+  IoRequest request;
+  request.block = swap_page / n;
+  request.bytes = bytes;
+  request.is_write = is_write;
+  request.done = std::move(done);
+  disk.Submit(std::move(request));
+}
+
+size_t SwapSpace::TotalQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& d : disks_) {
+    depth += d->queue_depth();
+  }
+  return depth;
+}
+
+}  // namespace tmh

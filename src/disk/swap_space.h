@@ -1,0 +1,60 @@
+// Striped raw swap, modeled after the paper's testbed: swap pages are striped
+// round-robin across the disk array so that sequential page-in streams engage
+// every spindle, and consecutive stripes on one disk are physically contiguous.
+
+#ifndef TMH_SRC_DISK_SWAP_SPACE_H_
+#define TMH_SRC_DISK_SWAP_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/disk/disk.h"
+#include "src/sim/event_queue.h"
+
+namespace tmh {
+
+// Configuration of the swap disk array.
+struct SwapConfig {
+  int num_disks = 10;
+  int disks_per_controller = 2;
+  DiskParams disk_params;
+};
+
+class SwapSpace {
+ public:
+  SwapSpace(EventQueue* queue, const SwapConfig& config, int64_t page_size_bytes);
+
+  SwapSpace(const SwapSpace&) = delete;
+  SwapSpace& operator=(const SwapSpace&) = delete;
+
+  // Reads one page-sized extent at swap slot `swap_page`; `done` runs at I/O
+  // completion time.
+  void ReadPage(int64_t swap_page, std::function<void()> done);
+
+  // Writes one page-sized extent (page-out of a dirty page).
+  void WritePage(int64_t swap_page, std::function<void()> done);
+
+  [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
+  [[nodiscard]] const Disk& disk(int i) const { return *disks_[static_cast<size_t>(i)]; }
+  [[nodiscard]] uint64_t reads() const { return reads_; }
+  [[nodiscard]] uint64_t writes() const { return writes_; }
+
+  // Total queued + in-flight requests across the array (backpressure signal).
+  [[nodiscard]] size_t TotalQueueDepth() const;
+
+ private:
+  void Submit(int64_t swap_page, int64_t bytes, bool is_write, std::function<void()> done);
+
+  EventQueue* queue_;
+  int64_t page_size_bytes_;
+  std::vector<std::unique_ptr<ScsiController>> controllers_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_DISK_SWAP_SPACE_H_

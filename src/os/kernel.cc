@@ -1,0 +1,893 @@
+#include "src/os/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/os/paging_daemon.h"
+#include "src/os/releaser.h"
+
+namespace tmh {
+namespace {
+
+// Shortest CPU slice we simulate; bounds the skew introduced by executing a
+// slice's operations at its start time.
+constexpr SimDuration kMinSlice = 100 * kUsec;
+
+// Safety cap on operations per slice (guards against zero-cost op loops).
+constexpr int kMaxOpsPerSlice = 1 << 20;
+
+}  // namespace
+
+Kernel::Kernel(const MachineConfig& config)
+    : config_(config), frames_(config.num_frames()), free_list_(config.num_frames()) {
+  swap_ = std::make_unique<SwapSpace>(&queue_, config.swap, config.page_size_bytes);
+  // All frames start free; freshly booted machine.
+  for (FrameId f = 0; f < config.num_frames(); ++f) {
+    free_list_.PushTail(f);
+  }
+}
+
+Kernel::~Kernel() = default;
+
+AddressSpace* Kernel::CreateAddressSpace(const std::string& name, int64_t bytes) {
+  const VPage pages = config_.BytesToPages(bytes);
+  auto as = std::make_unique<AddressSpace>(static_cast<AsId>(address_spaces_.size()), name,
+                                           pages, next_swap_slot_);
+  next_swap_slot_ += pages;
+  address_spaces_.push_back(std::move(as));
+  return address_spaces_.back().get();
+}
+
+Thread* Kernel::Spawn(const std::string& name, AddressSpace* as, Program* program,
+                      bool is_daemon) {
+  auto thread = std::make_unique<Thread>(next_thread_id_++, name, as, program, is_daemon);
+  Thread* t = thread.get();
+  threads_.push_back(std::move(thread));
+  t->started_at_ = Now();
+  t->block_start = Now();  // measures initial CPU-queue wait
+  run_queue_.push_back(t);
+  // Defer dispatch to an event so Spawn can be called from outside the run loop.
+  queue_.ScheduleAfter(0, [this]() { TryDispatch(); });
+  return t;
+}
+
+void Kernel::StartDaemons() {
+  assert(paging_daemon_ == nullptr && "daemons already started");
+  paging_daemon_ = std::make_unique<PagingDaemon>(this);
+  releaser_ = std::make_unique<Releaser>(this);
+  daemon_thread_ = Spawn("vhand", nullptr, paging_daemon_.get(), /*is_daemon=*/true);
+  releaser_thread_ = Spawn("releaser", nullptr, releaser_.get(), /*is_daemon=*/true);
+  DaemonTickChain(config_.tunables.daemon_period);
+}
+
+void Kernel::DaemonTickChain(SimDuration period) {
+  queue_.ScheduleAfter(period, [this, period]() {
+    Signal(&paging_daemon_->wait_queue());
+    DaemonTickChain(period);
+  });
+}
+
+void Kernel::StartTracing(SimDuration period) {
+  assert(trace_.empty() && "tracing already started");
+  trace_.AddSeries("free_pages");
+  for (const auto& as : address_spaces_) {
+    trace_.AddSeries(as->name() + "_rss");
+  }
+  trace_.AddSeries("daemon_stolen");
+  trace_.AddSeries("releaser_freed");
+  trace_.AddSeries("hard_faults");
+  trace_.AddSeries("soft_faults");
+  trace_.AddSeries("swap_queue");
+  TraceTick(period);
+}
+
+void Kernel::TraceTick(SimDuration period) {
+  // Only the address spaces that existed at StartTracing have series.
+  const size_t traced_as = trace_.series().size() - 6;
+  std::vector<double> row;
+  row.reserve(traced_as + 6);
+  row.push_back(static_cast<double>(free_list_.size()));
+  for (size_t a = 0; a < traced_as && a < address_spaces_.size(); ++a) {
+    row.push_back(static_cast<double>(address_spaces_[a]->page_table().resident_count()));
+  }
+  row.push_back(static_cast<double>(stats_.daemon_pages_stolen));
+  row.push_back(static_cast<double>(stats_.releaser_pages_freed));
+  row.push_back(static_cast<double>(stats_.hard_faults));
+  row.push_back(static_cast<double>(stats_.soft_faults));
+  row.push_back(static_cast<double>(swap_->TotalQueueDepth()));
+  trace_.Record(Now(), std::move(row));
+  queue_.ScheduleAfter(period, [this, period]() { TraceTick(period); });
+}
+
+bool Kernel::RunUntilDone(const std::function<bool()>& done, uint64_t max_events) {
+  uint64_t events = 0;
+  while (!done()) {
+    if (events >= max_events || !queue_.RunOne()) {
+      return done();
+    }
+    ++events;
+  }
+  return true;
+}
+
+bool Kernel::RunUntilThreadsDone(const std::vector<Thread*>& threads, uint64_t max_events) {
+  return RunUntilDone(
+      [&threads]() {
+        for (const Thread* t : threads) {
+          if (t->state() != Thread::State::kDone) {
+            return false;
+          }
+        }
+        return true;
+      },
+      max_events);
+}
+
+// --- scheduling -------------------------------------------------------------
+
+void Kernel::MakeRunnable(Thread* t) {
+  t->state_ = Thread::State::kRunnable;
+  t->block_reason_ = Thread::BlockReason::kNone;
+  t->block_start = Now();  // start of CPU-queue wait
+  run_queue_.push_back(t);
+  TryDispatch();
+}
+
+void Kernel::TryDispatch() {
+  while (busy_cpus_ < config_.num_cpus && !run_queue_.empty()) {
+    Thread* t = run_queue_.front();
+    run_queue_.pop_front();
+    assert(t->state_ == Thread::State::kRunnable);
+    // Time spent waiting for a CPU is a resource stall.
+    t->times_.resource_stall += Now() - t->block_start;
+    t->state_ = Thread::State::kRunning;
+    ++busy_cpus_;
+    queue_.ScheduleAfter(0, [this, t]() { RunSlice(t); });
+  }
+}
+
+void Kernel::RunSlice(Thread* t) {
+  assert(t->state_ == Thread::State::kRunning);
+  const SimTime now = Now();
+  const SimTime next_event = queue_.NextEventTime(now + config_.quantum);
+  const SimDuration budget =
+      std::clamp<SimDuration>(next_event - now, kMinSlice, config_.quantum);
+
+  SimDuration elapsed = 0;
+  for (int ops = 0; ops < kMaxOpsPerSlice; ++ops) {
+    if (!t->has_pending_) {
+      t->pending_op_ = t->program_->Next(*this);
+      t->has_pending_ = true;
+    }
+    if (t->pending_op_.kind == Op::Kind::kExit) {
+      t->has_pending_ = false;
+      t->state_ = Thread::State::kDone;
+      t->finished_at_ = now + elapsed;
+      EndSlice(t, elapsed, /*requeue=*/false);
+      return;
+    }
+    if (t->pending_op_.kind == Op::Kind::kYield) {
+      t->has_pending_ = false;
+      EndSlice(t, elapsed, /*requeue=*/true);
+      return;
+    }
+    const ExecResult result = ExecuteOp(t, &elapsed);
+    if (result == ExecResult::kBlocked) {
+      EndSlice(t, elapsed, /*requeue=*/false);
+      return;
+    }
+    t->has_pending_ = false;
+    if (elapsed >= budget) {
+      EndSlice(t, elapsed, /*requeue=*/true);
+      return;
+    }
+  }
+  EndSlice(t, elapsed, /*requeue=*/true);
+}
+
+void Kernel::EndSlice(Thread* t, SimDuration elapsed, bool requeue) {
+  // The CPU stays busy until the consumed time has elapsed; the thread's next
+  // turn (or its blocking) begins then.
+  queue_.ScheduleAfter(elapsed, [this, t, requeue]() {
+    --busy_cpus_;
+    if (requeue && t->state_ == Thread::State::kRunning) {
+      t->state_ = Thread::State::kRunnable;
+      t->block_start = Now();
+      run_queue_.push_back(t);
+    }
+    TryDispatch();
+  });
+}
+
+void Kernel::Block(Thread* t, Thread::BlockReason reason, SimDuration elapsed) {
+  assert(t->state_ == Thread::State::kRunning);
+  t->state_ = Thread::State::kBlocked;
+  t->block_reason_ = reason;
+  t->block_start = Now() + elapsed;
+}
+
+void Kernel::Wake(Thread* t) {
+  if (t->state_ != Thread::State::kBlocked) {
+    return;  // already woken by another path (e.g. lock handoff + memory wake)
+  }
+  const SimDuration waited = std::max<SimDuration>(0, Now() - t->block_start);
+  switch (t->block_reason_) {
+    case Thread::BlockReason::kIo:
+      t->times_.io_stall += waited;
+      t->fault_service_.Add(static_cast<double>(waited));
+      break;
+    case Thread::BlockReason::kLock:
+    case Thread::BlockReason::kMemory:
+      t->times_.resource_stall += waited;
+      break;
+    case Thread::BlockReason::kSleep:
+    case Thread::BlockReason::kWaitQueue:
+      t->times_.sleep += waited;
+      // A sleep or queue wait is satisfied by the wake itself; the pending op
+      // is complete (kIo/kLock/kMemory ops instead re-execute to finish the
+      // fault or acquisition).
+      t->has_pending_ = false;
+      break;
+    case Thread::BlockReason::kNone:
+      break;
+  }
+  MakeRunnable(t);
+}
+
+void Kernel::Signal(WaitQueue* q) {
+  if (Thread* t = q->Dequeue()) {
+    Wake(t);
+  } else {
+    q->AddPendingSignal();
+  }
+}
+
+void Kernel::WakeDaemon() {
+  if (paging_daemon_ != nullptr) {
+    Signal(&paging_daemon_->wait_queue());
+  }
+}
+
+// --- op execution -----------------------------------------------------------
+
+void Kernel::Charge(Thread* t, SimDuration* elapsed, SimDuration d,
+                    SimDuration TimeBreakdown::*bucket) {
+  t->times_.*bucket += d;
+  *elapsed += d;
+}
+
+Kernel::ExecResult Kernel::ExecuteOp(Thread* t, SimDuration* elapsed) {
+  Op& op = t->pending_op_;
+  switch (op.kind) {
+    case Op::Kind::kCompute:
+      Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+      return ExecResult::kCompleted;
+    case Op::Kind::kTouch:
+      return DoTouch(t, op, elapsed);
+    case Op::Kind::kSleep: {
+      Block(t, Thread::BlockReason::kSleep, *elapsed);
+      queue_.ScheduleAt(Now() + *elapsed + op.duration, [this, t]() { Wake(t); });
+      return ExecResult::kBlocked;
+    }
+    case Op::Kind::kPrefetch:
+      return DoPrefetch(t, op, elapsed);
+    case Op::Kind::kRelease:
+      return DoRelease(t, op, elapsed);
+    case Op::Kind::kWait: {
+      if (op.wait->ConsumeSignal()) {
+        return ExecResult::kCompleted;
+      }
+      op.wait->Enqueue(t);
+      Block(t, Thread::BlockReason::kWaitQueue, *elapsed);
+      return ExecResult::kBlocked;
+    }
+    case Op::Kind::kAcquireLock: {
+      if (!AcquireOrBlock(t, *op.lock, elapsed)) {
+        return ExecResult::kBlocked;
+      }
+      return ExecResult::kCompleted;
+    }
+    case Op::Kind::kReleaseLock:
+      ReleaseLock(t, *op.lock);
+      return ExecResult::kCompleted;
+    case Op::Kind::kYield:
+    case Op::Kind::kExit:
+      // Handled in RunSlice.
+      return ExecResult::kCompleted;
+  }
+  return ExecResult::kCompleted;
+}
+
+bool Kernel::AcquireOrBlock(Thread* t, MemoryLock& lock, SimDuration* elapsed) {
+  if (lock.IsHeldBy(t)) {
+    return true;  // handed off while we were blocked
+  }
+  if (lock.TryAcquire(t)) {
+    Charge(t, elapsed, config_.costs.lock_acquire, &TimeBreakdown::system);
+    return true;
+  }
+  lock.EnqueueWaiter(t);
+  Block(t, Thread::BlockReason::kLock, *elapsed);
+  return false;
+}
+
+void Kernel::ReleaseLock(Thread* t, MemoryLock& lock) {
+  if (Thread* next = lock.Release(t)) {
+    Wake(next);
+  }
+}
+
+// --- memory helpers ----------------------------------------------------------
+
+FrameId Kernel::AllocateFrame(AddressSpace* as, VPage vpage) {
+  const FrameId f = free_list_.PopHead();
+  if (f == kNoFrame) {
+    return kNoFrame;
+  }
+  Frame& fr = frames_.at(f);
+  if (fr.owner != kNoAs) {
+    // Break the stale rescue identity of the page that last lived here.
+    AddressSpace* old_as = address_spaces_[static_cast<size_t>(fr.owner)].get();
+    Pte& old_pte = old_as->page_table().at(fr.vpage);
+    if (old_pte.frame == f && !old_pte.resident) {
+      old_pte.frame = kNoFrame;
+    }
+  }
+  frames_.ResetIdentity(f);
+  fr.owner = as->id();
+  fr.vpage = vpage;
+  ++stats_.allocations;
+  if (free_list_.size() < config_.tunables.min_freemem_pages) {
+    WakeDaemon();
+  }
+  MaybeNotifySharedHeaders();
+  return f;
+}
+
+void Kernel::MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate) {
+  Pte& pte = as->page_table().at(vpage);
+  assert(!pte.resident);
+  pte.frame = f;
+  pte.resident = true;
+  pte.valid = validate;
+  pte.invalid_reason = validate ? InvalidReason::kNone : InvalidReason::kFreshPrefetch;
+  pte.ever_materialized = true;
+  Frame& fr = frames_.at(f);
+  fr.mapped = true;
+  fr.contents_valid = true;
+  fr.freed_by = FreedBy::kNone;
+  as->page_table().IncrementResident();
+  if (as->HasPagingDirected()) {
+    as->bitmap()->Set(vpage);
+  }
+}
+
+void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
+  Pte& pte = as->page_table().at(vpage);
+  assert(pte.resident);
+  Frame& fr = frames_.at(pte.frame);
+  pte.resident = false;
+  pte.valid = false;
+  pte.invalid_reason = InvalidReason::kNone;
+  // pte.frame intentionally kept: it is the rescue link.
+  fr.mapped = false;
+  fr.referenced = false;
+  fr.contents_valid = true;
+  fr.freed_by = freed_by;
+  as->page_table().DecrementResident();
+  if (as->HasPagingDirected()) {
+    as->bitmap()->Clear(vpage);
+  }
+}
+
+void Kernel::FreeFrame(FrameId f, bool at_tail) {
+  Frame& fr = frames_.at(f);
+  assert(!fr.mapped);
+  if (fr.dirty) {
+    fr.io_busy = true;
+    ++stats_.writebacks;
+    AddressSpace* as = address_spaces_[static_cast<size_t>(fr.owner)].get();
+    swap_->WritePage(as->SwapSlot(fr.vpage), [this, f, at_tail]() {
+      Frame& done = frames_.at(f);
+      done.dirty = false;
+      done.io_busy = false;
+      if (at_tail) {
+        free_list_.PushTail(f);
+      } else {
+        free_list_.PushHead(f);
+      }
+      WakeMemoryWaiters();
+      WakeFrameWaiters(f);  // touches that arrived mid-writeback can now rescue
+      MaybeNotifySharedHeaders();
+    });
+    return;
+  }
+  if (at_tail) {
+    free_list_.PushTail(f);
+  } else {
+    free_list_.PushHead(f);
+  }
+  WakeMemoryWaiters();
+  MaybeNotifySharedHeaders();
+}
+
+void Kernel::WakeMemoryWaiters() {
+  // Wake everyone; re-blocking is cheap and the waiter count is tiny.
+  while (Thread* t = memory_wait_.Dequeue()) {
+    Wake(t);
+  }
+}
+
+void Kernel::WaitOnFrame(Thread* t, FrameId f, SimDuration elapsed) {
+  frame_waiters_[f].push_back(t);
+  Block(t, Thread::BlockReason::kIo, elapsed);
+}
+
+void Kernel::WakeFrameWaiters(FrameId f) {
+  const auto it = frame_waiters_.find(f);
+  if (it == frame_waiters_.end()) {
+    return;
+  }
+  std::vector<Thread*> waiters = std::move(it->second);
+  frame_waiters_.erase(it);
+  for (Thread* t : waiters) {
+    Wake(t);
+  }
+}
+
+void Kernel::UpdateSharedHeader(AddressSpace* as) {
+  if (!as->HasPagingDirected()) {
+    return;
+  }
+  const int64_t current = as->page_table().resident_count();
+  const int64_t upper =
+      std::min(config_.tunables.maxrss_pages,
+               current + free_list_.size() - config_.tunables.min_freemem_pages);
+  as->bitmap()->SetHeader(current, std::max<int64_t>(upper, 0));
+  as->set_header_free_snapshot(free_list_.size());
+}
+
+void Kernel::IssueReadAhead(AddressSpace* as, VPage vpage) {
+  const FrameId f = AllocateFrame(as, vpage);
+  if (f == kNoFrame) {
+    return;
+  }
+  Frame& fr = frames_.at(f);
+  fr.io_busy = true;
+  Pte& pte = as->page_table().at(vpage);
+  pte.frame = f;  // collapse/rescue link while the read is in flight
+  pte.ever_materialized = true;
+  if (as->HasPagingDirected()) {
+    as->bitmap()->Set(vpage);
+  }
+  ++stats_.readahead_reads;
+  swap_->ReadPage(as->SwapSlot(vpage), [this, as, vpage, f]() {
+    Frame& done = frames_.at(f);
+    done.io_busy = false;
+    if (done.owner == as->id() && done.vpage == vpage &&
+        !as->page_table().at(vpage).resident) {
+      // Like a prefetch: resident but unvalidated (no TLB entry).
+      MapFrame(as, vpage, f, /*validate=*/false);
+      UpdateSharedHeader(as);
+    }
+    WakeFrameWaiters(f);
+  });
+}
+
+bool Kernel::EvictLocalVictim(AddressSpace* as) {
+  const VPage pages = as->num_pages();
+  VPage cursor = as->local_clock_cursor();
+  for (VPage scanned = 0; scanned < pages; ++scanned) {
+    const VPage v = (cursor + scanned) % pages;
+    const Pte& pte = as->page_table().at(v);
+    if (!pte.resident || frames_.at(pte.frame).io_busy) {
+      continue;
+    }
+    const FrameId f = pte.frame;
+    as->set_local_clock_cursor((v + 1) % pages);
+    UnmapFrame(as, v, FreedBy::kDaemon);
+    FreeFrame(f, /*at_tail=*/false);
+    ++stats_.local_evictions;
+    ++as->stats().pages_stolen_from;
+    return true;
+  }
+  return false;
+}
+
+void Kernel::MaybeNotifySharedHeaders() {
+  const int64_t threshold = config_.tunables.shared_header_notify_threshold;
+  if (threshold <= 0) {
+    return;  // the paper's lazy behavior
+  }
+  const int64_t free = free_list_.size();
+  for (const auto& as : address_spaces_) {
+    if (as->HasPagingDirected() &&
+        std::abs(free - as->header_free_snapshot()) > threshold) {
+      UpdateSharedHeader(as.get());
+    }
+  }
+}
+
+// --- fault handling (kTouch) --------------------------------------------------
+
+Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
+  AddressSpace* as = op.as != nullptr ? op.as : t->as_;
+  assert(as != nullptr);
+  PageTable& pt = as->page_table();
+  Pte& pte = pt.at(op.vpage);
+  MemoryLock& lock = as->memory_lock();
+  const CostModel& costs = config_.costs;
+
+  // Fast path: valid mapping, no trap, no locking.
+  if (t->fault_phase_ == Thread::FaultPhase::kNone && !lock.IsHeldBy(t) && pte.resident &&
+      pte.valid) {
+    Charge(t, elapsed, costs.touch_hit + op.duration, &TimeBreakdown::user);
+    if (op.is_write) {
+      frames_.at(pte.frame).dirty = true;
+    }
+    return ExecResult::kCompleted;
+  }
+
+  if (!AcquireOrBlock(t, lock, elapsed)) {
+    return ExecResult::kBlocked;
+  }
+
+  // Resumption after page-in I/O: finalize the mapping.
+  if (t->fault_phase_ == Thread::FaultPhase::kIoDone) {
+    const FrameId f = t->fault_frame_;
+    Frame& fr = frames_.at(f);
+    fr.io_busy = false;
+    MapFrame(as, op.vpage, f, /*validate=*/true);
+    fr.referenced = true;
+    if (op.is_write) {
+      fr.dirty = true;
+    }
+    t->fault_phase_ = Thread::FaultPhase::kNone;
+    t->fault_frame_ = kNoFrame;
+    Charge(t, elapsed, costs.hard_fault_service, &TimeBreakdown::system);
+    ++t->faults_.hard_faults;
+    ++stats_.hard_faults;
+    UpdateSharedHeader(as);
+    ReleaseLock(t, lock);
+    WakeFrameWaiters(f);  // other threads that collapsed onto this page-in
+    Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+    return ExecResult::kCompleted;
+  }
+
+  // Re-examine under the lock: state may have changed while we waited.
+  if (pte.resident && pte.valid) {
+    ReleaseLock(t, lock);
+    Charge(t, elapsed, costs.touch_hit + op.duration, &TimeBreakdown::user);
+    if (op.is_write) {
+      frames_.at(pte.frame).dirty = true;
+    }
+    return ExecResult::kCompleted;
+  }
+
+  // Soft-fault family: resident but invalid mapping; revalidate.
+  if (pte.resident) {
+    Frame& fr = frames_.at(pte.frame);
+    switch (pte.invalid_reason) {
+      case InvalidReason::kFreshPrefetch:
+        Charge(t, elapsed, costs.fresh_prefetch_validate, &TimeBreakdown::system);
+        ++t->faults_.fresh_prefetch_touches;
+        break;
+      case InvalidReason::kDaemonInvalidated:
+        Charge(t, elapsed, costs.soft_fault, &TimeBreakdown::system);
+        ++t->faults_.soft_faults;
+        ++stats_.soft_faults;
+        break;
+      case InvalidReason::kReleasePending:
+        // Touch cancels the pending release (the releaser will see the bit).
+        Charge(t, elapsed, costs.soft_fault, &TimeBreakdown::system);
+        ++t->faults_.release_saves;
+        break;
+      case InvalidReason::kNone:
+        Charge(t, elapsed, costs.soft_fault, &TimeBreakdown::system);
+        break;
+    }
+    pte.valid = true;
+    pte.invalid_reason = InvalidReason::kNone;
+    fr.referenced = true;
+    if (op.is_write) {
+      fr.dirty = true;
+    }
+    if (as->HasPagingDirected()) {
+      as->bitmap()->Set(op.vpage);
+    }
+    UpdateSharedHeader(as);
+    ReleaseLock(t, lock);
+    Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+    return ExecResult::kCompleted;
+  }
+
+  // Collapse onto in-flight I/O: a prefetch (or another thread's fault, or a
+  // writeback) is already moving this page; wait for that I/O instead of
+  // issuing a duplicate read.
+  if (pte.frame != kNoFrame) {
+    Frame& fr = frames_.at(pte.frame);
+    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.io_busy) {
+      ++t->faults_.collapsed_faults;
+      ReleaseLock(t, lock);
+      WaitOnFrame(t, pte.frame, *elapsed);
+      return ExecResult::kBlocked;
+    }
+  }
+
+  // Rescue: the frame that last held this page is still on the free list.
+  if (pte.frame != kNoFrame) {
+    Frame& fr = frames_.at(pte.frame);
+    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
+        free_list_.Contains(pte.frame)) {
+      free_list_.Remove(pte.frame);
+      if (fr.freed_by == FreedBy::kDaemon) {
+        ++stats_.rescued_daemon_freed;
+        ++as->stats().rescued_from_steal;
+      } else {
+        ++stats_.rescued_release_freed;
+        ++as->stats().rescued_from_release;
+      }
+      const FrameId f = pte.frame;
+      MapFrame(as, op.vpage, f, /*validate=*/true);
+      fr.referenced = true;
+      if (op.is_write) {
+        fr.dirty = true;
+      }
+      Charge(t, elapsed, costs.rescue_fault, &TimeBreakdown::system);
+      ++t->faults_.rescue_faults;
+      UpdateSharedHeader(as);
+      ReleaseLock(t, lock);
+      Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+      return ExecResult::kCompleted;
+    }
+    pte.frame = kNoFrame;  // stale link
+  }
+
+  // Local replacement (extension): a process at its partition cap evicts one
+  // of its own pages before taking a fresh frame.
+  const int64_t partition = config_.tunables.local_partition_pages;
+  if (partition > 0 && as->page_table().resident_count() >= partition) {
+    EvictLocalVictim(as);
+  }
+
+  // Need a fresh frame.
+  const FrameId f = AllocateFrame(as, op.vpage);
+  if (f == kNoFrame) {
+    // No memory: wake the daemon and wait for a free frame, then retry.
+    ++stats_.memory_waits;
+    WakeDaemon();
+    ReleaseLock(t, lock);
+    memory_wait_.Enqueue(t);
+    Block(t, Thread::BlockReason::kMemory, *elapsed);
+    return ExecResult::kBlocked;
+  }
+
+  const bool needs_io =
+      pte.ever_materialized || as->BackingOf(op.vpage) == Backing::kSwap;
+  if (!needs_io) {
+    // Zero-fill fault: anonymous page touched for the first time.
+    MapFrame(as, op.vpage, f, /*validate=*/true);
+    Frame& fr = frames_.at(f);
+    fr.referenced = true;
+    fr.dirty = true;  // zero-filled contents exist nowhere on swap yet
+    Charge(t, elapsed, costs.zero_fill, &TimeBreakdown::system);
+    ++t->faults_.zero_fill_faults;
+    ++stats_.zero_fills;
+    UpdateSharedHeader(as);
+    ReleaseLock(t, lock);
+    Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+    return ExecResult::kCompleted;
+  }
+
+  // Hard fault: page-in from swap. Drop the lock across the I/O.
+  Frame& fr = frames_.at(f);
+  fr.io_busy = true;
+  t->fault_frame_ = f;
+  pte.frame = f;  // lets concurrent touches collapse onto this page-in
+  pte.ever_materialized = true;
+  if (as->HasPagingDirected()) {
+    as->bitmap()->Set(op.vpage);  // "bits are set whenever a physical page is allocated"
+  }
+  // Read-ahead clustering (extension; default off): pull the next pages of
+  // the region in with the same fault while free memory has headroom.
+  for (int64_t k = 1; k <= config_.tunables.fault_readahead_pages; ++k) {
+    const VPage next = op.vpage + k;
+    if (next >= as->num_pages() ||
+        free_list_.size() <= config_.tunables.min_freemem_pages) {
+      break;
+    }
+    const Pte& npte = as->page_table().at(next);
+    const bool backed = npte.ever_materialized || as->BackingOf(next) == Backing::kSwap;
+    if (npte.resident || npte.frame != kNoFrame || !backed) {
+      continue;
+    }
+    IssueReadAhead(as, next);
+  }
+  UpdateSharedHeader(as);
+  ReleaseLock(t, lock);
+  Block(t, Thread::BlockReason::kIo, *elapsed);
+  swap_->ReadPage(as->SwapSlot(op.vpage), [this, t]() {
+    t->fault_phase_ = Thread::FaultPhase::kIoDone;
+    Wake(t);
+  });
+  return ExecResult::kBlocked;
+}
+
+// --- PagingDirected prefetch (kPrefetch) ---------------------------------------
+
+Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
+  AddressSpace* as = op.as != nullptr ? op.as : t->as_;
+  assert(as != nullptr && as->HasPagingDirected());
+  PageTable& pt = as->page_table();
+  Pte& pte = pt.at(op.vpage);
+  MemoryLock& lock = as->memory_lock();
+  const CostModel& costs = config_.costs;
+
+  // Cheap unlocked check: already resident -> nothing to do.
+  if (t->fault_phase_ == Thread::FaultPhase::kNone && !lock.IsHeldBy(t) && pte.resident) {
+    Charge(t, elapsed, costs.prefetch_issue, &TimeBreakdown::system);
+    ++stats_.prefetch_requests;
+    ++stats_.prefetch_noop;
+    ++as->stats().prefetches_noop;
+    UpdateSharedHeader(as);
+    return ExecResult::kCompleted;
+  }
+
+  if (!AcquireOrBlock(t, lock, elapsed)) {
+    return ExecResult::kBlocked;
+  }
+
+  // Resumption after prefetch I/O: map without validating (no TLB entry).
+  if (t->fault_phase_ == Thread::FaultPhase::kIoDone) {
+    const FrameId f = t->fault_frame_;
+    Frame& fr = frames_.at(f);
+    fr.io_busy = false;
+    MapFrame(as, op.vpage, f, /*validate=*/false);
+    t->fault_phase_ = Thread::FaultPhase::kNone;
+    t->fault_frame_ = kNoFrame;
+    UpdateSharedHeader(as);
+    ReleaseLock(t, lock);
+    WakeFrameWaiters(f);  // touches that collapsed onto this prefetch
+    return ExecResult::kCompleted;
+  }
+
+  Charge(t, elapsed, costs.prefetch_issue, &TimeBreakdown::system);
+  ++stats_.prefetch_requests;
+  ++as->stats().prefetches_issued;
+  UpdateSharedHeader(as);
+
+  if (pte.resident) {
+    ++stats_.prefetch_noop;
+    ++as->stats().prefetches_noop;
+    ReleaseLock(t, lock);
+    return ExecResult::kCompleted;
+  }
+
+  // Already in flight (another prefetch or a fault): nothing to do.
+  if (pte.frame != kNoFrame) {
+    Frame& fr = frames_.at(pte.frame);
+    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.io_busy) {
+      ++stats_.prefetch_noop;
+      ++as->stats().prefetches_noop;
+      ReleaseLock(t, lock);
+      return ExecResult::kCompleted;
+    }
+  }
+
+  // Rescue via prefetch: free-list frame still holds the data.
+  if (pte.frame != kNoFrame) {
+    Frame& fr = frames_.at(pte.frame);
+    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
+        free_list_.Contains(pte.frame)) {
+      free_list_.Remove(pte.frame);
+      if (fr.freed_by == FreedBy::kDaemon) {
+        ++stats_.rescued_daemon_freed;
+        ++as->stats().rescued_from_steal;
+      } else {
+        ++stats_.rescued_release_freed;
+        ++as->stats().rescued_from_release;
+      }
+      const FrameId f = pte.frame;
+      MapFrame(as, op.vpage, f, /*validate=*/false);
+      UpdateSharedHeader(as);
+      ReleaseLock(t, lock);
+      return ExecResult::kCompleted;
+    }
+    pte.frame = kNoFrame;
+  }
+
+  // Never-materialized anonymous page: nothing on swap to fetch.
+  if (!pte.ever_materialized && as->BackingOf(op.vpage) != Backing::kSwap) {
+    ++stats_.prefetch_noop;
+    ++as->stats().prefetches_noop;
+    ReleaseLock(t, lock);
+    return ExecResult::kCompleted;
+  }
+
+  // Local replacement (extension): prefetching never evicts; a process at its
+  // partition cap simply has its prefetches dropped.
+  const int64_t partition = config_.tunables.local_partition_pages;
+  if (partition > 0 && as->page_table().resident_count() >= partition) {
+    ++stats_.prefetch_dropped;
+    ++as->stats().prefetches_dropped;
+    ReleaseLock(t, lock);
+    return ExecResult::kCompleted;
+  }
+
+  // "If there is no free memory, the request is discarded immediately."
+  const FrameId f = AllocateFrame(as, op.vpage);
+  if (f == kNoFrame) {
+    ++stats_.prefetch_dropped;
+    ++as->stats().prefetches_dropped;
+    WakeDaemon();
+    ReleaseLock(t, lock);
+    return ExecResult::kCompleted;
+  }
+
+  Frame& fr = frames_.at(f);
+  fr.io_busy = true;
+  t->fault_frame_ = f;
+  pte.frame = f;  // lets touches collapse onto the in-flight prefetch
+  pte.ever_materialized = true;
+  as->bitmap()->Set(op.vpage);
+  ++stats_.prefetch_io;
+  ReleaseLock(t, lock);
+  Block(t, Thread::BlockReason::kIo, *elapsed);
+  swap_->ReadPage(as->SwapSlot(op.vpage), [this, t]() {
+    t->fault_phase_ = Thread::FaultPhase::kIoDone;
+    Wake(t);
+  });
+  return ExecResult::kBlocked;
+}
+
+// --- PagingDirected release (kRelease) -----------------------------------------
+
+Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
+  AddressSpace* as = op.as != nullptr ? op.as : t->as_;
+  assert(as != nullptr && as->HasPagingDirected());
+  MemoryLock& lock = as->memory_lock();
+  const CostModel& costs = config_.costs;
+
+  if (!AcquireOrBlock(t, lock, elapsed)) {
+    return ExecResult::kBlocked;
+  }
+
+  Charge(t, elapsed, costs.release_syscall + op.count * costs.release_per_page,
+         &TimeBreakdown::system);
+  ++stats_.release_requests;
+  ++as->stats().release_requests;
+
+  bool enqueued_any = false;
+  for (VPage p = op.vpage; p < op.vpage + op.count; ++p) {
+    if (p < 0 || p >= as->num_pages()) {
+      continue;
+    }
+    Pte& pte = as->page_table().at(p);
+    if (!pte.resident || pte.invalid_reason == InvalidReason::kReleasePending) {
+      continue;  // nothing resident, or already queued
+    }
+    if (frames_.at(pte.frame).io_busy) {
+      continue;
+    }
+    // Clear the bit and invalidate the mapping so any re-reference before the
+    // releaser gets to it takes a soft fault that re-sets the bit.
+    if (as->HasPagingDirected()) {
+      as->bitmap()->Clear(p);
+    }
+    pte.valid = false;
+    pte.invalid_reason = InvalidReason::kReleasePending;
+    release_work_.push_back(ReleaseWorkItem{as, p});
+    ++stats_.release_pages_enqueued;
+    ++as->stats().release_pages_requested;
+    enqueued_any = true;
+  }
+  UpdateSharedHeader(as);
+  ReleaseLock(t, lock);
+  if (enqueued_any && releaser_ != nullptr) {
+    Signal(&releaser_->wait_queue());
+  }
+  return ExecResult::kCompleted;
+}
+
+}  // namespace tmh

@@ -1,0 +1,223 @@
+// The simulated kernel: CPUs, scheduler, fault handling, physical memory, and
+// the wiring for the paging daemon, the releaser daemon, and the
+// PagingDirected policy module.
+//
+// Execution model: threads run Programs (streams of Ops). The kernel dispatches
+// runnable threads onto `num_cpus` simulated CPUs in FIFO order; a thread holds
+// its CPU for at most one quantum (or until the next pending event, whichever
+// is sooner), executing Ops synchronously and charging their costs to the
+// Figure 7 time buckets. Ops that block (page-in I/O, memory-lock waits, empty
+// work queues, sleeps) suspend the thread until the corresponding waker runs.
+
+#ifndef TMH_SRC_OS_KERNEL_H_
+#define TMH_SRC_OS_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/swap_space.h"
+#include "src/os/address_space.h"
+#include "src/os/config.h"
+#include "src/os/thread.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/trace.h"
+#include "src/vm/frame_table.h"
+#include "src/vm/free_list.h"
+
+namespace tmh {
+
+class PagingDaemon;
+class Releaser;
+
+// Global memory-management counters (Table 3, Figures 8 and 9).
+struct KernelStats {
+  uint64_t daemon_activations = 0;   // wakeups that found stealing work to do
+  uint64_t daemon_pages_stolen = 0;
+  uint64_t daemon_invalidations = 0; // reference-bit sampling invalidations
+  uint64_t releaser_batches = 0;
+  uint64_t releaser_pages_freed = 0;
+  uint64_t releaser_skipped = 0;     // release requests dropped: page re-referenced
+  uint64_t rescued_daemon_freed = 0; // rescues of daemon-freed pages
+  uint64_t rescued_release_freed = 0;
+  uint64_t allocations = 0;          // frames handed out (page-ins + zero-fills)
+  uint64_t zero_fills = 0;
+  uint64_t writebacks = 0;           // dirty page-outs
+  uint64_t hard_faults = 0;
+  uint64_t soft_faults = 0;          // daemon-invalidation revalidations
+  uint64_t prefetch_requests = 0;
+  uint64_t prefetch_dropped = 0;     // no free memory: discarded immediately
+  uint64_t prefetch_noop = 0;        // already resident
+  uint64_t prefetch_io = 0;          // actually read from swap
+  uint64_t release_requests = 0;
+  uint64_t release_pages_enqueued = 0;
+  uint64_t memory_waits = 0;         // faults that had to wait for a free frame
+  uint64_t reactive_evictions = 0;   // pages surrendered via an eviction handler
+  uint64_t local_evictions = 0;      // self-evictions under local replacement
+  uint64_t readahead_reads = 0;      // clustered page-ins issued with faults
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const MachineConfig& config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- setup -----------------------------------------------------------------
+
+  // Creates a process address space of `bytes` rounded up to whole pages, with
+  // a disjoint swap extent backing it.
+  AddressSpace* CreateAddressSpace(const std::string& name, int64_t bytes);
+
+  // Spawns a thread executing `program` in `as` (nullptr for pure kernel
+  // threads). Daemon threads' time is excluded from application breakdowns.
+  Thread* Spawn(const std::string& name, AddressSpace* as, Program* program,
+                bool is_daemon = false);
+
+  // Starts the paging daemon, the releaser daemon, and the periodic timer.
+  void StartDaemons();
+
+  // Starts periodic time-series sampling (free pages, per-AS resident sets,
+  // reclaim counters, swap queue depth). Call after creating the address
+  // spaces whose resident sets should appear as series.
+  void StartTracing(SimDuration period);
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+  // --- execution -------------------------------------------------------------
+
+  // Runs the simulation until `done` returns true or `max_events` fire.
+  // Returns true if `done` was satisfied.
+  bool RunUntilDone(const std::function<bool()>& done, uint64_t max_events = 500'000'000);
+
+  // Convenience: runs until every listed thread reaches State::kDone.
+  bool RunUntilThreadsDone(const std::vector<Thread*>& threads,
+                           uint64_t max_events = 500'000'000);
+
+  [[nodiscard]] SimTime Now() const { return queue_.Now(); }
+  [[nodiscard]] EventQueue& event_queue() { return queue_; }
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+  [[nodiscard]] const FrameTable& frames() const { return frames_; }
+  [[nodiscard]] const FreeList& free_list() const { return free_list_; }
+  [[nodiscard]] SwapSpace& swap() { return *swap_; }
+  [[nodiscard]] int64_t FreePages() const { return free_list_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<AddressSpace>>& address_spaces() const {
+    return address_spaces_;
+  }
+  [[nodiscard]] PagingDaemon& paging_daemon() { return *paging_daemon_; }
+  [[nodiscard]] Releaser& releaser() { return *releaser_; }
+
+  // --- PagingDirected policy module entry points ------------------------------
+  // (Invoked through Ops; see policy_module.h for the user-level facade.)
+
+  // Recomputes the shared page header for `as` (Eq. 1). Called on every
+  // memory-system activity of the process, never asynchronously (Sec. 3.1.1).
+  void UpdateSharedHeader(AddressSpace* as);
+
+  // Threshold-notification extension (Sec. 3.1.1's unexplored alternative):
+  // refreshes stale headers when free memory moved past the tunable threshold.
+  void MaybeNotifySharedHeaders();
+
+  // Wakes the paging daemon (demand wake; it also wakes periodically).
+  void WakeDaemon();
+
+  // Signals `q`, waking one waiter or recording a pending signal.
+  void Signal(WaitQueue* q);
+
+ private:
+  friend class PagingDaemon;
+  friend class Releaser;
+
+  enum class ExecResult : uint8_t { kCompleted, kBlocked, kExited };
+
+  struct ReleaseWorkItem {
+    AddressSpace* as;
+    VPage vpage;
+  };
+
+  // Schedules the recurring paging-daemon timer tick.
+  void DaemonTickChain(SimDuration period);
+
+  // Scheduling.
+  void MakeRunnable(Thread* t);
+  void TryDispatch();
+  void RunSlice(Thread* t);
+  void EndSlice(Thread* t, SimDuration elapsed, bool requeue);
+  void Block(Thread* t, Thread::BlockReason reason, SimDuration elapsed);
+  void Wake(Thread* t);
+
+  // Op execution.
+  ExecResult ExecuteOp(Thread* t, SimDuration* elapsed);
+  ExecResult DoTouch(Thread* t, Op& op, SimDuration* elapsed);
+  ExecResult DoPrefetch(Thread* t, Op& op, SimDuration* elapsed);
+  ExecResult DoRelease(Thread* t, Op& op, SimDuration* elapsed);
+  // Acquires `lock` for `t` or blocks it. Returns true when the lock is held.
+  bool AcquireOrBlock(Thread* t, MemoryLock& lock, SimDuration* elapsed);
+  void ReleaseLock(Thread* t, MemoryLock& lock);
+
+  // Memory helpers.
+  FrameId AllocateFrame(AddressSpace* as, VPage vpage);
+  void MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate);
+  void UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by);
+  // Frees `f` after `UnmapFrame`, writing back dirty contents first. Pushes at
+  // the tail for releases, at the head for daemon steals.
+  void FreeFrame(FrameId f, bool at_tail);
+  void WakeMemoryWaiters();
+  // Blocks `t` until the in-flight I/O on frame `f` completes (fault collapse
+  // onto an in-flight prefetch/page-in, or wait for a writeback to finish).
+  void WaitOnFrame(Thread* t, FrameId f, SimDuration elapsed);
+  void WakeFrameWaiters(FrameId f);
+  // Local-replacement extension: evicts one of `as`'s own pages (round-robin
+  // clock over its page table). Returns true if a victim was freed.
+  bool EvictLocalVictim(AddressSpace* as);
+  // Read-ahead clustering: starts an unvalidated page-in of `vpage` (caller
+  // holds the AS lock and has verified the page is absent and backed).
+  void IssueReadAhead(AddressSpace* as, VPage vpage);
+  void Charge(Thread* t, SimDuration* elapsed, SimDuration d, SimDuration TimeBreakdown::*bucket);
+
+  const MachineConfig config_;
+  EventQueue queue_;
+  FrameTable frames_;
+  FreeList free_list_;
+  std::unique_ptr<SwapSpace> swap_;
+
+  std::vector<std::unique_ptr<AddressSpace>> address_spaces_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  int64_t next_swap_slot_ = 0;
+  int32_t next_thread_id_ = 1;
+
+  // Scheduler state.
+  std::deque<Thread*> run_queue_;
+  int busy_cpus_ = 0;
+
+  // Threads waiting for a free frame (fault path only; prefetches drop).
+  WaitQueue memory_wait_;
+  // Threads waiting for a specific frame's in-flight I/O to complete.
+  std::unordered_map<FrameId, std::vector<Thread*>> frame_waiters_;
+
+  // Daemons.
+  std::unique_ptr<PagingDaemon> paging_daemon_;
+  std::unique_ptr<Releaser> releaser_;
+  Thread* daemon_thread_ = nullptr;
+  Thread* releaser_thread_ = nullptr;
+  std::deque<ReleaseWorkItem> release_work_;
+
+  KernelStats stats_;
+
+  // Tracing.
+  void TraceTick(SimDuration period);
+  TraceRecorder trace_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_OS_KERNEL_H_

@@ -1,0 +1,182 @@
+#include "src/os/paging_daemon.h"
+
+#include <algorithm>
+
+#include "src/os/kernel.h"
+
+namespace tmh {
+
+Op PagingDaemon::Next(Kernel& kernel) {
+  (void)kernel;
+  Kernel& k = *kernel_;
+  const Tunables& tun = k.config_.tunables;
+  switch (phase_) {
+    case Phase::kIdle: {
+      AddressSpace* over_rss = FindOverMaxrss();
+      if (!active_) {
+        if (k.free_list_.size() >= tun.min_freemem_pages && over_rss == nullptr) {
+          return Op::Wait(&wq_);
+        }
+        active_ = true;
+        scanned_this_round_ = 0;
+        sweep_quota_ = static_cast<int64_t>(tun.daemon_min_sweep_fraction *
+                                            static_cast<double>(k.frames_.size()));
+        ++activations_;
+        ++k.stats_.daemon_activations;
+      }
+      // Keep sweeping until the free target is met AND the minimum reference-
+      // bit sampling quota for this activation has been covered.
+      if (k.free_list_.size() >= tun.target_freemem_pages && over_rss == nullptr &&
+          scanned_this_round_ >= sweep_quota_) {
+        active_ = false;
+        return Op::Wait(&wq_);
+      }
+      if (scanned_this_round_ >= tun.daemon_max_scan_factor * k.frames_.size()) {
+        // Full sweeps without reaching the target (e.g. everything io_busy or
+        // referenced): yield until the next tick so the system makes progress.
+        active_ = false;
+        wq_.ClearPendingSignals();
+        return Op::Wait(&wq_);
+      }
+      AddressSpace* as = GatherBatch(over_rss);
+      if (as == nullptr) {
+        active_ = false;
+        wq_.ClearPendingSignals();
+        return Op::Wait(&wq_);
+      }
+      batch_as_ = as;
+      phase_ = Phase::kLocked;
+      return Op::Acquire(&as->memory_lock());
+    }
+    case Phase::kLocked: {
+      const SimDuration cost = ProcessBatch();
+      phase_ = Phase::kUnlock;
+      return Op::Compute(cost);
+    }
+    case Phase::kUnlock:
+      phase_ = Phase::kIdle;
+      return Op::ReleaseL(&batch_as_->memory_lock());
+  }
+  return Op::Exit();
+}
+
+AddressSpace* PagingDaemon::FindOverMaxrss() const {
+  const int64_t maxrss = kernel_->config_.tunables.maxrss_pages;
+  for (const auto& as : kernel_->address_spaces_) {
+    if (as->page_table().resident_count() > maxrss) {
+      return as.get();
+    }
+  }
+  return nullptr;
+}
+
+AddressSpace* PagingDaemon::GatherBatch(AddressSpace* filter) {
+  Kernel& k = *kernel_;
+  const int64_t n = k.frames_.size();
+  batch_.clear();
+  AddressSpace* owner = nullptr;
+  int64_t steps = 0;
+  while (steps < n) {
+    const auto f = static_cast<FrameId>(clock_hand_);
+    clock_hand_ = (clock_hand_ + 1) % n;
+    ++steps;
+    ++scanned_this_round_;
+    const Frame& fr = k.frames_.at(f);
+    if (!fr.mapped || fr.io_busy) {
+      continue;
+    }
+    AddressSpace* as = k.address_spaces_[static_cast<size_t>(fr.owner)].get();
+    if (filter != nullptr && as != filter) {
+      continue;
+    }
+    if (owner == nullptr) {
+      owner = as;
+    } else if (as != owner) {
+      // Stop the batch at the owner boundary; rewind so this frame is next.
+      clock_hand_ = (clock_hand_ - 1 + n) % n;
+      --scanned_this_round_;
+      break;
+    }
+    batch_.push_back(f);
+    if (static_cast<int>(batch_.size()) >= k.config_.tunables.daemon_batch) {
+      break;
+    }
+  }
+  return batch_.empty() ? nullptr : owner;
+}
+
+SimDuration PagingDaemon::ProcessBatch() {
+  Kernel& k = *kernel_;
+  const CostModel& costs = k.config_.costs;
+  const int64_t target = k.config_.tunables.target_freemem_pages;
+  SimDuration cost = 0;
+
+  // Reactive (VINO-style) path: ask the process which pages to surrender
+  // instead of aging its frames with the clock. The daemon still runs — the
+  // OS still decides *which process* pays — but this process's victims are
+  // self-chosen, so no invalidation soft faults and no bad steals for it.
+  if (batch_as_->HasEvictionHandler() && k.free_list_.size() < target) {
+    const auto wanted = static_cast<int64_t>(batch_.size());
+    const std::vector<VPage> victims = batch_as_->AskEvictionHandler(wanted);
+    for (const VPage vpage : victims) {
+      cost += costs.daemon_scan_per_page;
+      if (vpage < 0 || vpage >= batch_as_->num_pages()) {
+        continue;
+      }
+      const Pte& pte = batch_as_->page_table().at(vpage);
+      if (!pte.resident || k.frames_.at(pte.frame).io_busy) {
+        continue;
+      }
+      const FrameId f = pte.frame;
+      k.UnmapFrame(batch_as_, vpage, FreedBy::kDaemon);
+      k.FreeFrame(f, /*at_tail=*/false);
+      ++k.stats_.daemon_pages_stolen;
+      ++k.stats_.reactive_evictions;
+      ++batch_as_->stats().pages_stolen_from;
+    }
+    if (!victims.empty()) {
+      k.UpdateSharedHeader(batch_as_);
+      return std::max<SimDuration>(cost, 1);
+    }
+    // Handler had nothing to offer: fall through to the normal clock pass.
+  }
+
+  for (const FrameId f : batch_) {
+    Frame& fr = k.frames_.at(f);
+    cost += costs.daemon_scan_per_page;
+    if (!fr.mapped || fr.io_busy || fr.owner != batch_as_->id()) {
+      continue;  // state changed while we waited for the lock
+    }
+    Pte& pte = batch_as_->page_table().at(fr.vpage);
+    const bool possibly_referenced =
+        pte.valid || fr.referenced || pte.invalid_reason == InvalidReason::kFreshPrefetch;
+    if (possibly_referenced) {
+      // Sample the reference bit in software: invalidate the mapping; a later
+      // touch will soft-fault and prove liveness.
+      pte.valid = false;
+      if (pte.invalid_reason != InvalidReason::kReleasePending) {
+        pte.invalid_reason = InvalidReason::kDaemonInvalidated;
+      }
+      fr.referenced = false;
+      ++k.stats_.daemon_invalidations;
+      ++batch_as_->stats().invalidations_received;
+    } else if (k.free_list_.size() >= target &&
+               batch_as_->page_table().resident_count() <=
+                   k.config_.tunables.maxrss_pages) {
+      // Above the free target this pass only samples reference bits; the
+      // frame stays a steal candidate for the next shortage.
+      continue;
+    } else {
+      // Unreferenced since the last pass: steal it.
+      k.UnmapFrame(batch_as_, fr.vpage, FreedBy::kDaemon);
+      k.FreeFrame(f, /*at_tail=*/false);
+      cost += costs.daemon_steal_per_page;
+      ++k.stats_.daemon_pages_stolen;
+      ++batch_as_->stats().pages_stolen_from;
+    }
+  }
+  k.UpdateSharedHeader(batch_as_);
+  return std::max<SimDuration>(cost, 1);
+}
+
+}  // namespace tmh

@@ -1,0 +1,65 @@
+// The paging daemon (IRIX "vhand" analogue).
+//
+// Woken periodically and on demand when free memory drops below min_freemem,
+// it sweeps a clock hand over physical frames until free memory reaches the
+// target. Because the MIPS TLB lacks hardware reference bits, the first
+// encounter of a possibly-referenced frame *invalidates* its mapping (the next
+// touch takes a soft fault that proves liveness); a frame found still invalid
+// and unreferenced on a later encounter is stolen. While it examines a
+// process's frames the daemon holds that process's memory lock for the whole
+// batch — the lock contention Section 4.3 identifies as a dominant cost.
+
+#ifndef TMH_SRC_OS_PAGING_DAEMON_H_
+#define TMH_SRC_OS_PAGING_DAEMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/thread.h"
+#include "src/vm/types.h"
+
+namespace tmh {
+
+class Kernel;
+class MemoryLock;
+
+class PagingDaemon : public Program {
+ public:
+  explicit PagingDaemon(Kernel* kernel) : kernel_(kernel) {}
+
+  Op Next(Kernel& kernel) override;
+
+  [[nodiscard]] WaitQueue& wait_queue() { return wq_; }
+
+  // Activation counter for Table 3 ("number of times the paging daemon needs
+  // to operate").
+  [[nodiscard]] uint64_t activations() const { return activations_; }
+
+ private:
+  enum class Phase : uint8_t { kIdle, kLocked, kUnlock };
+
+  // Gathers the next batch of same-owner frames under the clock hand into
+  // batch_. If `filter` is non-null only its frames are eligible (maxrss
+  // trimming). Returns the owning address space, or nullptr if none found.
+  AddressSpace* GatherBatch(AddressSpace* filter);
+  // Invalidates or steals every frame in batch_ (owner's lock is held).
+  // Returns the CPU cost of the work.
+  SimDuration ProcessBatch();
+  // First address space whose RSS exceeds maxrss, or nullptr.
+  AddressSpace* FindOverMaxrss() const;
+
+  Kernel* kernel_;
+  WaitQueue wq_;
+  Phase phase_ = Phase::kIdle;
+  bool active_ = false;
+  int64_t sweep_quota_ = 0;  // minimum frames to scan this activation
+  int64_t clock_hand_ = 0;
+  std::vector<FrameId> batch_;
+  AddressSpace* batch_as_ = nullptr;
+  int64_t scanned_this_round_ = 0;
+  uint64_t activations_ = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_OS_PAGING_DAEMON_H_

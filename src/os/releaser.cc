@@ -1,0 +1,81 @@
+#include "src/os/releaser.h"
+
+#include <algorithm>
+
+#include "src/os/kernel.h"
+
+namespace tmh {
+
+Op Releaser::Next(Kernel& kernel) {
+  (void)kernel;
+  switch (phase_) {
+    case Phase::kIdle: {
+      AddressSpace* as = GatherBatch();
+      if (as == nullptr) {
+        return Op::Wait(&wq_);
+      }
+      batch_as_ = as;
+      phase_ = Phase::kLocked;
+      return Op::Acquire(&as->memory_lock());
+    }
+    case Phase::kLocked: {
+      const SimDuration cost = ProcessBatch();
+      phase_ = Phase::kUnlock;
+      return Op::Compute(cost);
+    }
+    case Phase::kUnlock:
+      phase_ = Phase::kIdle;
+      return Op::ReleaseL(&batch_as_->memory_lock());
+  }
+  return Op::Exit();
+}
+
+AddressSpace* Releaser::GatherBatch() {
+  Kernel& k = *kernel_;
+  batch_.clear();
+  if (k.release_work_.empty()) {
+    return nullptr;
+  }
+  AddressSpace* as = k.release_work_.front().as;
+  const int batch_limit = k.config_.tunables.releaser_batch;
+  while (!k.release_work_.empty() && static_cast<int>(batch_.size()) < batch_limit &&
+         k.release_work_.front().as == as) {
+    batch_.push_back(k.release_work_.front().vpage);
+    k.release_work_.pop_front();
+  }
+  return as;
+}
+
+SimDuration Releaser::ProcessBatch() {
+  Kernel& k = *kernel_;
+  const CostModel& costs = k.config_.costs;
+  SimDuration cost = 0;
+  ++k.stats_.releaser_batches;
+  for (const VPage p : batch_) {
+    cost += costs.releaser_per_page;
+    Pte& pte = batch_as_->page_table().at(p);
+    // Re-check that the page has not been referenced again (a re-touch
+    // revalidated the mapping and re-set the bitmap bit) and is still ours.
+    if (!pte.resident || pte.valid ||
+        pte.invalid_reason != InvalidReason::kReleasePending) {
+      ++k.stats_.releaser_skipped;
+      ++batch_as_->stats().releases_skipped;
+      continue;
+    }
+    Frame& fr = k.frames_.at(pte.frame);
+    if (!fr.mapped || fr.io_busy) {
+      ++k.stats_.releaser_skipped;
+      ++batch_as_->stats().releases_skipped;
+      continue;
+    }
+    const FrameId f = pte.frame;
+    k.UnmapFrame(batch_as_, p, FreedBy::kReleaser);
+    k.FreeFrame(f, /*at_tail=*/k.config_.tunables.release_to_tail);
+    ++k.stats_.releaser_pages_freed;
+    ++batch_as_->stats().pages_released;
+  }
+  k.UpdateSharedHeader(batch_as_);
+  return std::max<SimDuration>(cost, 1);
+}
+
+}  // namespace tmh

@@ -1,0 +1,44 @@
+#include "src/runtime/prefetch_pool.h"
+
+#include <string>
+
+namespace tmh {
+
+PrefetchPool::PrefetchPool(Kernel* kernel, AddressSpace* as, int num_threads, size_t max_queue)
+    : kernel_(kernel), as_(as), max_queue_(max_queue) {
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this));
+    worker_threads_.push_back(kernel_->Spawn(as_->name() + ":pf" + std::to_string(i), as_,
+                                             workers_.back().get(), /*is_daemon=*/true));
+  }
+}
+
+void PrefetchPool::Enqueue(VPage page) {
+  if (queued_.contains(page)) {
+    ++duplicates_;
+    return;
+  }
+  if (queue_.size() >= max_queue_) {
+    ++dropped_full_;
+    return;
+  }
+  queued_.insert(page);
+  queue_.push_back(page);
+  ++enqueued_;
+  kernel_->Signal(&wq_);
+}
+
+Op PrefetchPool::Worker::Next(Kernel& kernel) {
+  (void)kernel;
+  if (pool_->queue_.empty()) {
+    return Op::Wait(&pool_->wq_);
+  }
+  const VPage page = pool_->queue_.front();
+  pool_->queue_.pop_front();
+  pool_->queued_.erase(page);
+  Op op = Op::Prefetch(page);
+  op.as = pool_->as_;
+  return op;
+}
+
+}  // namespace tmh

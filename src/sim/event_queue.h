@@ -1,0 +1,100 @@
+// Deterministic discrete-event queue.
+//
+// The queue orders events by (time, sequence number) so that events scheduled
+// for the same instant run in FIFO order. Every stateful component of the
+// simulated machine (CPUs, disks, daemons) advances exclusively by posting
+// events here; there is no wall-clock anywhere in the simulation.
+
+#ifndef TMH_SRC_SIM_EVENT_QUEUE_H_
+#define TMH_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tmh {
+
+// Handle used to cancel a pending event. Cancellation is lazy: the event stays
+// in the heap but is skipped when popped.
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Advances only inside RunOne()/RunUntil().
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  // Schedules `action` to run at absolute time `when` (>= Now()). Returns a
+  // handle usable with Cancel().
+  EventId ScheduleAt(SimTime when, Action action);
+
+  // Schedules `action` to run `delay` microseconds from now.
+  EventId ScheduleAfter(SimDuration delay, Action action) {
+    return ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs the next pending event, advancing Now(). Returns false if empty.
+  bool RunOne();
+
+  // Runs events until the queue is empty or Now() would exceed `deadline`.
+  // Returns the number of events executed.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs events until the queue drains. Returns the number executed. A safety
+  // cap guards against runaway self-rescheduling loops.
+  uint64_t RunToCompletion(uint64_t max_events = UINT64_MAX);
+
+  // Time of the earliest pending (non-cancelled) event, or `fallback` if none.
+  [[nodiscard]] SimTime NextEventTime(SimTime fallback) const;
+
+  [[nodiscard]] bool Empty() const { return live_count_ == 0; }
+  [[nodiscard]] size_t PendingCount() const { return live_count_; }
+  [[nodiscard]] uint64_t ExecutedCount() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the heap top.
+  void SkipCancelled() const;
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  size_t live_count_ = 0;
+  // Entries are kept in a mutable heap so const queries can drop cancelled
+  // heads without changing observable state.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of cancelled-but-not-yet-popped events, kept sorted for O(log n) find.
+  mutable std::vector<EventId> cancelled_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator for workload synthesis.
+//
+// xoshiro256** — small, fast, and identical on every platform, so workloads
+// that use random access patterns (BUK's rank array, CGM's sparse columns)
+// produce bit-identical page-touch traces across runs and machines.
+
+#ifndef TMH_SRC_SIM_RNG_H_
+#define TMH_SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace tmh {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator using splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  // Next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  // Uniform integer in [0, bound). `bound` must be nonzero. Uses rejection
+  // sampling (Lemire) so the distribution is exactly uniform.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_RNG_H_

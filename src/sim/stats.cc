@@ -1,0 +1,78 @@
+#include "src/sim/stats.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tmh {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  assert(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i] > bounds_[i - 1] && "histogram bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Add(double sample) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), sample);
+  counts_[static_cast<size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+void Histogram::Reset() {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double hi = (i < bounds_.size()) ? bounds_[i] : bounds_.back();
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    if (i < bounds_.size()) {
+      std::snprintf(line, sizeof(line), "  < %12.1f : %llu\n", bounds_[i],
+                    static_cast<unsigned long long>(counts_[i]));
+    } else {
+      std::snprintf(line, sizeof(line), "  >=%12.1f : %llu\n", bounds_.back(),
+                    static_cast<unsigned long long>(counts_[i]));
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::vector<double> ExponentialBounds(double first, double ratio, int n) {
+  assert(first > 0 && ratio > 1.0 && n > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(n));
+  double b = first;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  return bounds;
+}
+
+}  // namespace tmh

@@ -1,0 +1,69 @@
+// Lightweight statistics primitives used by every simulated component.
+
+#ifndef TMH_SRC_SIM_STATS_H_
+#define TMH_SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tmh {
+
+// Running sum / count / min / max over a stream of samples.
+class Accumulator {
+ public:
+  void Add(double sample) {
+    sum_ += sample;
+    ++count_;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+
+  void Reset() { *this = Accumulator(); }
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-boundary histogram. Bucket i counts samples in [bounds[i-1], bounds[i]);
+// a final overflow bucket counts samples >= bounds.back().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Add(double sample);
+  void Reset();
+
+  [[nodiscard]] uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // Approximate quantile by linear interpolation within buckets; q in [0,1].
+  [[nodiscard]] double Quantile(double q) const;
+
+  // Multi-line human-readable rendering (for example programs and debugging).
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;   // strictly increasing upper bounds
+  std::vector<uint64_t> counts_; // bounds_.size() + 1 buckets
+  uint64_t total_ = 0;
+};
+
+// Builds `n` exponentially spaced bounds starting at `first`, ratio `ratio`.
+std::vector<double> ExponentialBounds(double first, double ratio, int n);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_STATS_H_

@@ -1,0 +1,39 @@
+// Simulated-time definitions for the discrete-event substrate.
+//
+// All simulated time in this project is kept in integer nanoseconds. Integer
+// time keeps the event queue totally ordered and the whole simulation
+// deterministic across platforms (no floating-point drift); nanosecond
+// granularity lets per-iteration compute costs (tens of ns) and run-time-layer
+// hint checks (hundreds of ns) be expressed exactly.
+
+#ifndef TMH_SRC_SIM_TIME_H_
+#define TMH_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace tmh {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNsec = 1;
+inline constexpr SimDuration kUsec = 1000 * kNsec;
+inline constexpr SimDuration kMsec = 1000 * kUsec;
+inline constexpr SimDuration kSec = 1000 * kMsec;
+
+// Converts a duration to floating-point seconds (for reports only; never feed
+// the result back into the simulation).
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+// Converts a duration to floating-point milliseconds (for reports only).
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+// Converts a duration to floating-point microseconds (for reports only).
+constexpr double ToMicros(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_TIME_H_

@@ -1,0 +1,65 @@
+#include "src/sim/trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tmh {
+
+int TraceRecorder::AddSeries(const std::string& name) {
+  assert(samples_.empty() && "register all series before recording");
+  series_.push_back(name);
+  return static_cast<int>(series_.size()) - 1;
+}
+
+void TraceRecorder::Record(SimTime when, std::vector<double> values) {
+  assert(values.size() == series_.size());
+  samples_.push_back(TraceSample{when, std::move(values)});
+}
+
+std::string TraceRecorder::ToCsv() const {
+  std::string out = "time_s";
+  for (const std::string& name : series_) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
+  char buf[64];
+  for (const TraceSample& sample : samples_) {
+    std::snprintf(buf, sizeof(buf), "%.6f", ToSeconds(sample.when));
+    out += buf;
+    for (const double v : sample.values) {
+      std::snprintf(buf, sizeof(buf), ",%.6g", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string csv = ToCsv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TraceRecorder::SeriesSummary TraceRecorder::Summarize(int series_index) const {
+  SeriesSummary summary;
+  if (samples_.empty()) {
+    return summary;
+  }
+  const auto idx = static_cast<size_t>(series_index);
+  summary.min = summary.max = summary.final = samples_.front().values[idx];
+  for (const TraceSample& sample : samples_) {
+    const double v = sample.values[idx];
+    summary.min = std::min(summary.min, v);
+    summary.max = std::max(summary.max, v);
+    summary.final = v;
+  }
+  return summary;
+}
+
+}  // namespace tmh

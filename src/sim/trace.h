@@ -1,0 +1,61 @@
+// Time-series tracing of the simulated machine.
+//
+// The paper's figures are end-of-run aggregates; understanding *why* a run
+// behaved as it did usually needs the time axis — when the free list dipped,
+// when the daemon swept, how deep the disk queues ran. A TraceRecorder
+// collects periodic samples of named series; the CSV export feeds any
+// plotting tool.
+
+#ifndef TMH_SRC_SIM_TRACE_H_
+#define TMH_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tmh {
+
+struct TraceSample {
+  SimTime when = 0;
+  std::vector<double> values;  // one per series, in registration order
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  // Registers a named series; returns its column index. All series must be
+  // registered before the first Record() call.
+  int AddSeries(const std::string& name);
+
+  // Appends one sample row (values in registration order).
+  void Record(SimTime when, std::vector<double> values);
+
+  [[nodiscard]] const std::vector<std::string>& series() const { return series_; }
+  [[nodiscard]] const std::vector<TraceSample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // Renders "time_s,series1,series2,...\n..." rows.
+  [[nodiscard]] std::string ToCsv() const;
+
+  // Writes the CSV to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  // Min/max/final value of one series (by index), for quick assertions.
+  struct SeriesSummary {
+    double min = 0;
+    double max = 0;
+    double final = 0;
+  };
+  [[nodiscard]] SeriesSummary Summarize(int series_index) const;
+
+ private:
+  std::vector<std::string> series_;
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_TRACE_H_

@@ -1,0 +1,70 @@
+// Physical frame table.
+//
+// Each frame records which (address space, virtual page) it currently backs,
+// whether its contents are dirty, and the software-simulated reference
+// information that IRIX's paging daemon maintains in lieu of hardware
+// reference bits (Section 4.3 of the paper). A freed frame keeps its identity
+// until it is reallocated so that a process faulting on a too-early-freed page
+// can *rescue* it from the free list without disk I/O.
+
+#ifndef TMH_SRC_VM_FRAME_TABLE_H_
+#define TMH_SRC_VM_FRAME_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/types.h"
+
+namespace tmh {
+
+// Which reclaim path put a frame on the free list — distinguishes Figure 9's
+// rescue categories.
+enum class FreedBy : uint8_t { kNone = 0, kDaemon, kReleaser };
+
+struct Frame {
+  AsId owner = kNoAs;    // address space whose data the frame holds (or last held)
+  VPage vpage = kNoVPage;
+  bool mapped = false;         // currently installed in the owner's page table
+  bool dirty = false;          // contents differ from the swap copy
+  bool referenced = false;     // software reference bit (set on touch/validate)
+  bool contents_valid = false; // frame still holds (owner, vpage)'s data (rescue possible)
+  bool io_busy = false;        // page-in or page-out in flight
+  FreedBy freed_by = FreedBy::kNone;
+};
+
+class FrameTable {
+ public:
+  explicit FrameTable(int64_t num_frames) : frames_(static_cast<size_t>(num_frames)) {}
+
+  [[nodiscard]] int64_t size() const { return static_cast<int64_t>(frames_.size()); }
+
+  [[nodiscard]] Frame& at(FrameId id) {
+    assert(id >= 0 && id < size());
+    return frames_[static_cast<size_t>(id)];
+  }
+  [[nodiscard]] const Frame& at(FrameId id) const {
+    assert(id >= 0 && id < size());
+    return frames_[static_cast<size_t>(id)];
+  }
+
+  // Resets a frame to the unowned state (on reallocation to a new page).
+  void ResetIdentity(FrameId id) {
+    Frame& f = at(id);
+    f.owner = kNoAs;
+    f.vpage = kNoVPage;
+    f.mapped = false;
+    f.dirty = false;
+    f.referenced = false;
+    f.contents_valid = false;
+    f.io_busy = false;
+    f.freed_by = FreedBy::kNone;
+  }
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_VM_FRAME_TABLE_H_

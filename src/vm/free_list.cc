@@ -1,0 +1,80 @@
+#include "src/vm/free_list.h"
+
+#include <cassert>
+
+namespace tmh {
+
+FreeList::FreeList(int64_t num_frames)
+    : prev_(static_cast<size_t>(num_frames), kNoFrame),
+      next_(static_cast<size_t>(num_frames), kNoFrame),
+      linked_(static_cast<size_t>(num_frames), false) {}
+
+void FreeList::PushHead(FrameId id) {
+  assert(!linked_[static_cast<size_t>(id)] && "frame already on free list");
+  Link(id, kNoFrame, head_);
+  ++head_pushes_;
+}
+
+void FreeList::PushTail(FrameId id) {
+  assert(!linked_[static_cast<size_t>(id)] && "frame already on free list");
+  Link(id, tail_, kNoFrame);
+  ++tail_pushes_;
+}
+
+FrameId FreeList::PopHead() {
+  if (head_ == kNoFrame) {
+    return kNoFrame;
+  }
+  const FrameId id = head_;
+  Unlink(id);
+  return id;
+}
+
+void FreeList::Remove(FrameId id) {
+  assert(linked_[static_cast<size_t>(id)] && "rescue of a frame not on the free list");
+  Unlink(id);
+  ++rescues_;
+}
+
+bool FreeList::Contains(FrameId id) const {
+  return id >= 0 && id < static_cast<FrameId>(linked_.size()) &&
+         linked_[static_cast<size_t>(id)];
+}
+
+void FreeList::Link(FrameId id, FrameId prev, FrameId next) {
+  prev_[static_cast<size_t>(id)] = prev;
+  next_[static_cast<size_t>(id)] = next;
+  if (prev != kNoFrame) {
+    next_[static_cast<size_t>(prev)] = id;
+  } else {
+    head_ = id;
+  }
+  if (next != kNoFrame) {
+    prev_[static_cast<size_t>(next)] = id;
+  } else {
+    tail_ = id;
+  }
+  linked_[static_cast<size_t>(id)] = true;
+  ++size_;
+}
+
+void FreeList::Unlink(FrameId id) {
+  const FrameId prev = prev_[static_cast<size_t>(id)];
+  const FrameId next = next_[static_cast<size_t>(id)];
+  if (prev != kNoFrame) {
+    next_[static_cast<size_t>(prev)] = next;
+  } else {
+    head_ = next;
+  }
+  if (next != kNoFrame) {
+    prev_[static_cast<size_t>(next)] = prev;
+  } else {
+    tail_ = prev;
+  }
+  prev_[static_cast<size_t>(id)] = kNoFrame;
+  next_[static_cast<size_t>(id)] = kNoFrame;
+  linked_[static_cast<size_t>(id)] = false;
+  --size_;
+}
+
+}  // namespace tmh

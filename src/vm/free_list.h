@@ -1,0 +1,68 @@
+// Free list of physical frames with O(1) rescue.
+//
+// Allocation pops from the head. The paging daemon pushes stolen pages at the
+// head; the releaser daemon pushes explicitly released pages at the *tail*,
+// "giving pages that were released too early a chance to be rescued"
+// (Section 3.1.2). Rescue removes a frame from the middle of the list, so the
+// list is an intrusive doubly-linked list indexed by FrameId.
+
+#ifndef TMH_SRC_VM_FREE_LIST_H_
+#define TMH_SRC_VM_FREE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/types.h"
+
+namespace tmh {
+
+class FreeList {
+ public:
+  explicit FreeList(int64_t num_frames);
+
+  FreeList(const FreeList&) = delete;
+  FreeList& operator=(const FreeList&) = delete;
+
+  // Pushes a frame at the head (next to be reallocated).
+  void PushHead(FrameId id);
+
+  // Pushes a frame at the tail (last to be reallocated; maximizes rescue odds).
+  void PushTail(FrameId id);
+
+  // Pops the frame at the head, or kNoFrame if empty.
+  FrameId PopHead();
+
+  // Removes `id` from anywhere in the list (rescue path). `id` must be linked.
+  void Remove(FrameId id);
+
+  [[nodiscard]] bool Contains(FrameId id) const;
+  [[nodiscard]] int64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Lifetime counters for Figure 9's freed-page outcome breakdown.
+  [[nodiscard]] uint64_t total_head_pushes() const { return head_pushes_; }
+  [[nodiscard]] uint64_t total_tail_pushes() const { return tail_pushes_; }
+  [[nodiscard]] uint64_t total_rescues() const { return rescues_; }
+
+ private:
+  void Link(FrameId id, FrameId prev, FrameId next);
+  void Unlink(FrameId id);
+
+  // head_/tail_ plus per-frame prev/next; kNoFrame terminates. A frame not in
+  // the list has linked_[id] == false.
+  FrameId head_ = kNoFrame;
+  FrameId tail_ = kNoFrame;
+  std::vector<FrameId> prev_;
+  std::vector<FrameId> next_;
+  std::vector<bool> linked_;
+  int64_t size_ = 0;
+
+  uint64_t head_pushes_ = 0;
+  uint64_t tail_pushes_ = 0;
+  uint64_t rescues_ = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_VM_FREE_LIST_H_

@@ -1,0 +1,86 @@
+// Residency bitmap shared between the OS and an application.
+//
+// Models the 16 KB shared page of the PagingDirected policy module
+// (Section 3.1.1): a bitmap indexed by virtual page number whose bits the OS
+// sets when a physical page is allocated for the virtual page and clears when
+// the page is reclaimed, plus two header words — the current number of pages
+// in use and the recommended upper limit. The header words are updated lazily,
+// only when the process experiences memory-system activity.
+
+#ifndef TMH_SRC_VM_RESIDENCY_BITMAP_H_
+#define TMH_SRC_VM_RESIDENCY_BITMAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/types.h"
+
+namespace tmh {
+
+class ResidencyBitmap {
+ public:
+  explicit ResidencyBitmap(VPage num_pages)
+      : bits_((static_cast<size_t>(num_pages) + 63) / 64, 0),
+        num_pages_(num_pages) {}
+
+  [[nodiscard]] VPage size() const { return num_pages_; }
+
+  void Set(VPage vpage) {
+    assert(InRange(vpage));
+    bits_[Word(vpage)] |= Mask(vpage);
+  }
+
+  void Clear(VPage vpage) {
+    assert(InRange(vpage));
+    bits_[Word(vpage)] &= ~Mask(vpage);
+  }
+
+  [[nodiscard]] bool Test(VPage vpage) const {
+    assert(InRange(vpage));
+    return (bits_[Word(vpage)] & Mask(vpage)) != 0;
+  }
+
+  void SetAll() {
+    for (auto& w : bits_) {
+      w = ~0ULL;
+    }
+  }
+
+  void ClearRange(VPage first, VPage count) {
+    for (VPage p = first; p < first + count; ++p) {
+      Clear(p);
+    }
+  }
+
+  [[nodiscard]] int64_t PopCount() const {
+    int64_t n = 0;
+    for (uint64_t w : bits_) {
+      n += __builtin_popcountll(w);
+    }
+    return n;
+  }
+
+  // Header words of the shared page (Section 3.1.1). The OS writes them; the
+  // run-time layer reads them. Values may be stale between memory activity.
+  [[nodiscard]] int64_t current_usage() const { return current_usage_; }
+  [[nodiscard]] int64_t upper_limit() const { return upper_limit_; }
+  void SetHeader(int64_t current_usage, int64_t upper_limit) {
+    current_usage_ = current_usage;
+    upper_limit_ = upper_limit;
+  }
+
+ private:
+  [[nodiscard]] bool InRange(VPage vpage) const { return vpage >= 0 && vpage < num_pages_; }
+  static size_t Word(VPage vpage) { return static_cast<size_t>(vpage) / 64; }
+  static uint64_t Mask(VPage vpage) { return 1ULL << (static_cast<uint64_t>(vpage) % 64); }
+
+  std::vector<uint64_t> bits_;
+  VPage num_pages_;
+  int64_t current_usage_ = 0;
+  int64_t upper_limit_ = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_VM_RESIDENCY_BITMAP_H_

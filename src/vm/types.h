@@ -1,0 +1,24 @@
+// Shared identifier types for the virtual-memory substrate.
+
+#ifndef TMH_SRC_VM_TYPES_H_
+#define TMH_SRC_VM_TYPES_H_
+
+#include <cstdint>
+
+namespace tmh {
+
+// Index of a physical page frame in the frame table.
+using FrameId = int32_t;
+inline constexpr FrameId kNoFrame = -1;
+
+// Virtual page number within one address space.
+using VPage = int64_t;
+inline constexpr VPage kNoVPage = -1;
+
+// Address-space identifier (one per simulated process).
+using AsId = int32_t;
+inline constexpr AsId kNoAs = -1;
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_VM_TYPES_H_

@@ -1,0 +1,142 @@
+#include "src/workloads/extra.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace tmh {
+namespace {
+
+int64_t ScaledDim(int64_t x, double scale) {
+  return std::max<int64_t>(64, static_cast<int64_t>(static_cast<double>(x) * scale));
+}
+
+ArrayRef MakeRef(int32_t array, std::vector<int64_t> coeffs, int64_t constant,
+                 bool write = false) {
+  ArrayRef ref;
+  ref.array = array;
+  ref.affine.coeffs = std::move(coeffs);
+  ref.affine.constant = constant;
+  ref.is_write = write;
+  return ref;
+}
+
+}  // namespace
+
+SourceProgram MakeRelax(double scale) {
+  SourceProgram p;
+  p.name = "RELAX";
+  // ~160 MB matrix: rows of 16K doubles (128 KB = 8 pages each).
+  const int64_t cols = 16 * 1024;
+  const int64_t rows = ScaledDim(1280, scale);
+  p.arrays = {{"a", 8, rows * cols, /*on_disk=*/true, nullptr}};
+  LoopNest nest;
+  nest.label = "relax";
+  nest.loops = {Loop{"i", 1, rows - 1, 1, true}, Loop{"j", 1, cols - 1, 1, true}};
+  // The nine references of Figure 3(a); constants are row*cols + col offsets.
+  for (const int64_t di : {-1ll, 0ll, 1ll}) {
+    for (const int64_t dj : {-1ll, 0ll, 1ll}) {
+      nest.refs.push_back(MakeRef(0, {cols, 1}, di * cols + dj, di == 0 && dj == 0));
+    }
+  }
+  nest.compute_per_iteration = 60 * kNsec;  // nine loads, one divide
+  p.nests.push_back(std::move(nest));
+  p.repeat = 2;  // iterate the smoothing, as relaxation codes do
+  return p;
+}
+
+SourceProgram MakeShuffle(double scale, uint64_t seed) {
+  SourceProgram p;
+  p.name = "SHUFFLE";
+  const int64_t n = ScaledDim(4 * 1024 * 1024, scale);
+  // A random mapping stands in for the transpose permutation: the page-touch
+  // pattern of the scattered writes is what matters.
+  auto perm = std::make_shared<std::vector<int64_t>>();
+  perm->reserve(static_cast<size_t>(n));
+  {
+    Rng rng(seed);
+    for (int64_t i = 0; i < n; ++i) {
+      perm->push_back(static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n))));
+    }
+  }
+  p.arrays = {
+      {"in", 8, n, /*on_disk=*/true, nullptr},
+      {"perm", 8, n, /*on_disk=*/true, perm},
+      {"out", 8, n, /*on_disk=*/false, nullptr},
+  };
+  LoopNest nest;
+  nest.label = "scatter";
+  nest.loops = {Loop{"i", 0, n, 1, true}};
+  ArrayRef scatter;
+  scatter.array = 2;
+  scatter.index_array = 1;
+  scatter.affine.coeffs = {1};
+  scatter.is_write = true;
+  nest.refs = {
+      MakeRef(0, {1}, 0),  // in[i]
+      MakeRef(1, {1}, 0),  // perm[i]
+      scatter,             // out[perm[i]] — indirect: prefetched, never released
+  };
+  nest.compute_per_iteration = 300 * kNsec;
+  p.nests.push_back(std::move(nest));
+  p.repeat = 1;
+  return p;
+}
+
+SourceProgram MakeSortMerge(double scale) {
+  SourceProgram p;
+  p.name = "SORTMERGE";
+  const int64_t run = ScaledDim(6 * 1024 * 1024, scale);  // elements per input run
+  p.arrays = {
+      {"run_a", 8, run, /*on_disk=*/true, nullptr},
+      {"run_b", 8, run, /*on_disk=*/true, nullptr},
+      {"merged", 8, 2 * run, /*on_disk=*/false, nullptr},
+  };
+  // Model the merge as one pass that consumes both runs and produces the
+  // output: per output element, one input element is read (alternating runs
+  // on average) and one output element written. At page granularity the three
+  // streams advance together at half/half/full rate.
+  LoopNest nest;
+  nest.label = "merge";
+  nest.loops = {Loop{"k", 0, run, 1, true}};
+  nest.refs = {
+      MakeRef(0, {1}, 0),              // run_a cursor
+      MakeRef(1, {1}, 0),              // run_b cursor
+      MakeRef(2, {2}, 0, /*write=*/true),  // merged advances twice as fast
+      MakeRef(2, {2}, 1, /*write=*/true),
+  };
+  nest.compute_per_iteration = 350 * kNsec;  // two compares + two stores
+  p.nests.push_back(std::move(nest));
+  p.repeat = 1;
+  return p;
+}
+
+const std::vector<WorkloadInfo>& ExtraWorkloads() {
+  static const std::vector<WorkloadInfo> kExtra = {
+      {"RELAX", [](double s) { return MakeRelax(s); }, "2-D stencil, known bounds (Sec. 2.4)",
+       "easy"},
+      {"SHUFFLE", [](double s) { return MakeShuffle(s); },
+       "sequential streams + permutation scatter", "moderate"},
+      {"SORTMERGE", [](double s) { return MakeSortMerge(s); },
+       "three concurrent sequential streams", "easy"},
+  };
+  return kExtra;
+}
+
+const WorkloadInfo* FindWorkload(const std::string& name) {
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  for (const WorkloadInfo& info : ExtraWorkloads()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tmh

@@ -1,0 +1,43 @@
+// Extension workloads beyond the paper's six benchmarks.
+//
+// RELAX is the paper's own Section 2.4 worked example (averaging each element
+// with its neighbors) promoted to a runnable workload; TRANSPOSE and
+// SORTMERGE are classic out-of-core kernels that exercise the compiler in
+// ways the NAS set does not (column-strided writes; three concurrent
+// sequential streams with disjoint roles).
+
+#ifndef TMH_SRC_WORKLOADS_EXTRA_H_
+#define TMH_SRC_WORKLOADS_EXTRA_H_
+
+#include "src/workloads/workloads.h"
+
+namespace tmh {
+
+// Section 2.4's nearest-neighbor averaging over an out-of-core matrix:
+//   a[i][j] = avg of the 3x3 neighborhood. Three row-planes of group
+// locality; the compiler prefetches the leading plane and releases the
+// trailing one, exactly as the paper's example derives.
+SourceProgram MakeRelax(double scale = 1.0);
+
+// Permutation scatter (the page-level behavior of an out-of-core transpose or
+// shuffle): the input and the permutation stream sequentially while the
+// output is written through the permutation — an indirect reference the
+// compiler may prefetch but never release, leaving the daemon to manage the
+// scattered half of the footprint.
+SourceProgram MakeShuffle(double scale = 1.0, uint64_t seed = 0x5eed0f1e);
+
+// Merge of two sorted out-of-core runs into an output run: three concurrent
+// sequential streams, every one of them releasable with priority 0 — the
+// friendliest possible case for aggressive releasing.
+SourceProgram MakeSortMerge(double scale = 1.0);
+
+// The extension workloads, in a registry shaped like AllWorkloads().
+const std::vector<WorkloadInfo>& ExtraWorkloads();
+
+// Finds a workload by name across AllWorkloads() and ExtraWorkloads();
+// returns nullptr if unknown.
+const WorkloadInfo* FindWorkload(const std::string& name);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_WORKLOADS_EXTRA_H_

@@ -1,0 +1,44 @@
+#include "src/workloads/interactive.h"
+
+#include <cassert>
+
+namespace tmh {
+
+SimDuration InteractiveTask::ThreadExecution() const {
+  assert(thread_ != nullptr && "call BindThread after Spawn");
+  const TimeBreakdown& t = thread_->times();
+  return t.Execution();
+}
+
+Op InteractiveTask::Next(Kernel& kernel) {
+  const int64_t total = config_.data_pages + config_.text_pages;
+  if (sweeping_) {
+    if (page_cursor_ == 0) {
+      sweep_start_ = ThreadExecution();
+    }
+    if (page_cursor_ < total) {
+      Op op = Op::Touch(page_cursor_, /*write=*/page_cursor_ >= config_.text_pages,
+                        config_.per_page_compute);
+      op.as = as_;
+      ++page_cursor_;
+      return op;
+    }
+    // Sweep complete: Next() is only called after the previous op fully
+    // finished, so the thread's execution-time delta spans exactly the
+    // sweep's touches (including every stall they suffered).
+    const SimDuration response = ThreadExecution() - sweep_start_;
+    responses_.Add(static_cast<double>(response));
+    series_.push_back(response);
+    ++sweeps_;
+    page_cursor_ = 0;
+    sweeping_ = false;
+    if (config_.max_sweeps > 0 && sweeps_ >= config_.max_sweeps) {
+      return Op::Exit();
+    }
+    return Op::Sleep(config_.sleep_time);
+  }
+  sweeping_ = true;
+  return Next(kernel);
+}
+
+}  // namespace tmh

@@ -1,0 +1,66 @@
+// The simulated interactive task (Section 1.1).
+//
+// Repeatedly touches a 1 MB data set (64 pages of 16 KB, plus one page of
+// program text — the 65 hard faults of Figure 10c when everything has been
+// evicted), then sleeps for a configurable think time. The *response time* is
+// the time taken to touch the entire data set; on a dedicated machine it is
+// sub-millisecond, and it balloons when a memory hog steals the pages during
+// the sleep.
+
+#ifndef TMH_SRC_WORKLOADS_INTERACTIVE_H_
+#define TMH_SRC_WORKLOADS_INTERACTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/os/thread.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace tmh {
+
+struct InteractiveConfig {
+  int64_t data_pages = 64;               // 1 MB of data at 16 KB pages
+  int64_t text_pages = 1;                // program text
+  SimDuration sleep_time = 5 * kSec;     // think time between sweeps
+  SimDuration per_page_compute = 10 * kUsec;  // work per touched page
+  // Stop emitting new sweeps after this many (0 = run until the experiment
+  // ends). The thread then exits.
+  int64_t max_sweeps = 0;
+};
+
+class InteractiveTask : public Program {
+ public:
+  InteractiveTask(AddressSpace* as, const InteractiveConfig& config)
+      : as_(as), config_(config) {}
+
+  // Binds the thread executing this task so responses can be measured from
+  // its time accounting (slice-exact, unlike event timestamps).
+  void BindThread(const Thread* thread) { thread_ = thread; }
+
+  Op Next(Kernel& kernel) override;
+
+  // Completed-sweep response times, in nanoseconds.
+  [[nodiscard]] const Accumulator& response_times() const { return responses_; }
+  [[nodiscard]] const std::vector<SimDuration>& response_series() const { return series_; }
+  [[nodiscard]] int64_t sweeps_completed() const { return sweeps_; }
+
+ private:
+  // Execution time (all four Figure 7 buckets) accrued by the bound thread.
+  [[nodiscard]] SimDuration ThreadExecution() const;
+
+  AddressSpace* as_;
+  InteractiveConfig config_;
+  const Thread* thread_ = nullptr;
+  int64_t page_cursor_ = 0;     // next page to touch within the sweep
+  bool sweeping_ = true;        // touching vs about to sleep
+  SimDuration sweep_start_ = -1;  // ThreadExecution() at sweep start
+  int64_t sweeps_ = 0;
+  Accumulator responses_;
+  std::vector<SimDuration> series_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_WORKLOADS_INTERACTIVE_H_

@@ -1,0 +1,348 @@
+#include "src/workloads/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace tmh {
+namespace {
+
+// Rounds `x * scale` down to a positive multiple of `mult`.
+int64_t Scaled(int64_t x, double scale, int64_t mult = 1) {
+  auto v = static_cast<int64_t>(static_cast<double>(x) * scale);
+  v = (v / mult) * mult;
+  return std::max<int64_t>(v, mult);
+}
+
+ArrayRef Ref(int32_t array, std::vector<int64_t> coeffs, int64_t constant, bool write = false) {
+  ArrayRef ref;
+  ref.array = array;
+  ref.affine.coeffs = std::move(coeffs);
+  ref.affine.constant = constant;
+  ref.is_write = write;
+  return ref;
+}
+
+ArrayRef IndirectRef(int32_t array, int32_t index_array, std::vector<int64_t> coeffs,
+                     int64_t constant, bool write = false) {
+  ArrayRef ref = Ref(array, std::move(coeffs), constant, write);
+  ref.index_array = index_array;
+  return ref;
+}
+
+Loop MakeLoop(const char* var, int64_t upper, bool known, int64_t lower = 0, int64_t step = 1) {
+  return Loop{var, lower, upper, step, known};
+}
+
+std::shared_ptr<std::vector<int64_t>> RandomValues(int64_t count, int64_t bound, uint64_t seed) {
+  auto values = std::make_shared<std::vector<int64_t>>();
+  values->reserve(static_cast<size_t>(count));
+  Rng rng(seed);
+  for (int64_t i = 0; i < count; ++i) {
+    values->push_back(static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(bound))));
+  }
+  return values;
+}
+
+}  // namespace
+
+// --- MATVEC -------------------------------------------------------------------
+// y = A * x with a 400 MB matrix and a 40 MB vector: one i-iteration touches a
+// row of A plus all of x (80 MB), exceeding the 75 MB machine, so the compiler
+// releases x despite its known reuse, tagging it with priority 2^0 = 1.
+SourceProgram MakeMatvec(double scale) {
+  SourceProgram p;
+  p.name = "MATVEC";
+  const int64_t n = Scaled(5ll * 1024 * 1024, scale, 2048);  // row length / |x|
+  const int64_t m = 10;                                      // rows
+  p.arrays = {
+      {"A", 8, m * n, /*on_disk=*/true, nullptr},
+      {"x", 8, n, /*on_disk=*/true, nullptr},
+      {"y", 8, m, /*on_disk=*/false, nullptr},
+  };
+  LoopNest nest;
+  nest.label = "matvec";
+  nest.loops = {MakeLoop("i", m, true), MakeLoop("j", n, true)};
+  nest.refs = {
+      Ref(0, {n, 1}, 0),          // A[i][j]
+      Ref(1, {0, 1}, 0),          // x[j] — temporal reuse across i
+      Ref(2, {1, 0}, 0, true),    // y[i] — temporal reuse across j (exploitable)
+  };
+  nest.compute_per_iteration = 150 * kNsec;
+  p.nests.push_back(std::move(nest));
+  p.repeat = 3;  // the paper runs the multiplication repeatedly
+  return p;
+}
+
+// --- EMBAR --------------------------------------------------------------------
+// One-dimensional loops with known bounds: generate a 268 MB table of deviates
+// (zero-fill writes), then tally it (sequential reads). Perfect analysis, no
+// temporal reuse anywhere — every release carries priority 0.
+SourceProgram MakeEmbar(double scale) {
+  SourceProgram p;
+  p.name = "EMBAR";
+  const int64_t n = Scaled(32ll * 1024 * 1024, scale, 2048);
+  p.arrays = {
+      {"gauss", 8, n, /*on_disk=*/false, nullptr},
+      {"sums", 8, 512, /*on_disk=*/false, nullptr},
+  };
+  LoopNest generate;
+  generate.label = "generate";
+  generate.loops = {MakeLoop("i", n, true)};
+  generate.refs = {Ref(0, {1}, 0, /*write=*/true)};
+  generate.compute_per_iteration = 300 * kNsec;
+  p.nests.push_back(std::move(generate));
+
+  LoopNest tally;
+  tally.label = "tally";
+  tally.loops = {MakeLoop("i", n, true)};
+  tally.refs = {Ref(0, {1}, 0), Ref(1, {0}, 0, /*write=*/true)};
+  tally.compute_per_iteration = 250 * kNsec;
+  p.nests.push_back(std::move(tally));
+  p.repeat = 1;
+  return p;
+}
+
+// --- BUK ----------------------------------------------------------------------
+// Bucket sort: keys and the output array are swept sequentially, while the
+// equally large count array is hit through the key values (indirect). Loop
+// bounds are unknown to the compiler, and the indirect references are never
+// released — with releasing, demand is satisfied from the sequential arrays
+// and the random one stays in memory (Section 4.3).
+SourceProgram MakeBuk(double scale, uint64_t seed) {
+  SourceProgram p;
+  p.name = "BUK";
+  const int64_t nk = Scaled(2ll * 1024 * 1024, scale, 1024);  // keys
+  p.arrays = {
+      {"keys", 16, nk, /*on_disk=*/true, RandomValues(nk, nk, seed)},
+      {"count", 8, nk, /*on_disk=*/false, nullptr},
+      {"out", 16, nk, /*on_disk=*/false, nullptr},
+  };
+  LoopNest rank;
+  rank.label = "rank";
+  rank.loops = {MakeLoop("i", nk, false)};
+  rank.refs = {
+      Ref(0, {1}, 0),                          // keys[i]
+      IndirectRef(1, 0, {1}, 0, /*write=*/true),  // count[keys[i]]++
+  };
+  rank.compute_per_iteration = 400 * kNsec;
+  p.nests.push_back(std::move(rank));
+
+  LoopNest scan;
+  scan.label = "scan";
+  scan.loops = {MakeLoop("j", nk, false)};
+  scan.refs = {Ref(1, {1}, 0), Ref(1, {1}, 0, /*write=*/true)};  // prefix sum over count
+  scan.compute_per_iteration = 80 * kNsec;
+  p.nests.push_back(std::move(scan));
+
+  LoopNest permute;
+  permute.label = "permute";
+  permute.loops = {MakeLoop("i", nk, false)};
+  permute.refs = {
+      Ref(0, {1}, 0),                           // keys[i]
+      IndirectRef(1, 0, {1}, 0),                // count[keys[i]]
+      IndirectRef(2, 0, {1}, 0, /*write=*/true),  // out[rank(keys[i])]
+  };
+  permute.compute_per_iteration = 450 * kNsec;
+  p.nests.push_back(std::move(permute));
+  p.repeat = 2;
+  return p;
+}
+
+// --- CGM ----------------------------------------------------------------------
+// Sparse matrix-vector product at the heart of conjugate gradient: row lengths
+// are data-dependent (unknown bounds) and the source vector is hit through the
+// column-index array. The short unknown-bound inner loop makes the compiler
+// emit hints every iteration, flooding the run-time layer with requests it
+// must filter — CGM's user-time overhead in Figure 7.
+SourceProgram MakeCgm(double scale, uint64_t seed) {
+  SourceProgram p;
+  p.name = "CGM";
+  const int64_t rows = Scaled(256ll * 1024, scale, 1024);
+  const int64_t row_len = 40;
+  const int64_t nnz = rows * row_len;
+  p.arrays = {
+      {"vals", 8, nnz, /*on_disk=*/true, nullptr},
+      {"colidx", 4, nnz, /*on_disk=*/true, RandomValues(nnz, rows, seed)},
+      {"p", 8, rows, /*on_disk=*/false, nullptr},
+      {"q", 8, rows, /*on_disk=*/false, nullptr},
+      {"r", 8, rows, /*on_disk=*/false, nullptr},
+  };
+  LoopNest spmv;
+  spmv.label = "spmv";
+  spmv.loops = {MakeLoop("i", rows, false), MakeLoop("k", row_len, false)};
+  spmv.refs = {
+      Ref(0, {row_len, 1}, 0),        // vals[i*row_len + k]
+      Ref(1, {row_len, 1}, 0),        // colidx[i*row_len + k]
+      IndirectRef(2, 1, {row_len, 1}, 0),  // p[colidx[...]]
+      Ref(3, {1, 0}, 0, /*write=*/true),   // q[i]
+  };
+  spmv.compute_per_iteration = 70 * kNsec;
+  p.nests.push_back(std::move(spmv));
+
+  LoopNest axpy;
+  axpy.label = "axpy";
+  axpy.loops = {MakeLoop("j", rows, false)};
+  axpy.refs = {Ref(2, {1}, 0, /*write=*/true), Ref(3, {1}, 0), Ref(4, {1}, 0, /*write=*/true)};
+  axpy.compute_per_iteration = 60 * kNsec;
+  p.nests.push_back(std::move(axpy));
+  p.repeat = 2;
+  return p;
+}
+
+// --- MGRID --------------------------------------------------------------------
+// Multigrid V-cycles. Bounds are unknown (they change across calls to the same
+// routines), smoothing sweeps are separate nests (the per-nest analysis cannot
+// see reuse between them, so each sweep releases pages the next sweep needs —
+// the rescues of Figure 9), and the stride-changing inter-grid transfers
+// defeat release analysis entirely (the paging daemon reclaims those pages).
+SourceProgram MakeMgrid(double scale) {
+  SourceProgram p;
+  p.name = "MGRID";
+  const auto d0 = static_cast<int64_t>(std::max(16.0, 192.0 * std::cbrt(scale)));
+  const int64_t d1 = d0 / 2;
+  const int64_t n0 = d0 * d0 * d0;
+  const int64_t n1 = d1 * d1 * d1;
+  p.arrays = {
+      {"u0", 8, n0, /*on_disk=*/true, nullptr},
+      {"r0", 8, n0, /*on_disk=*/true, nullptr},
+      {"u1", 8, n1, /*on_disk=*/false, nullptr},
+      {"r1", 8, n1, /*on_disk=*/false, nullptr},
+  };
+
+  auto smooth_fine = [&](const char* label) {
+    LoopNest nest;
+    nest.label = label;
+    nest.loops = {MakeLoop("i", d0 - 1, false, 1), MakeLoop("j", d0 - 1, false, 1),
+                  MakeLoop("k", d0 - 1, false, 1)};
+    const std::vector<int64_t> c = {d0 * d0, d0, 1};
+    nest.refs = {
+        Ref(0, c, 0, /*write=*/true),  // u0 center
+        Ref(0, c, 1),       Ref(0, c, -1),
+        Ref(0, c, d0),      Ref(0, c, -d0),
+        Ref(0, c, d0 * d0), Ref(0, c, -d0 * d0),
+        Ref(1, c, 0),  // r0
+    };
+    nest.compute_per_iteration = 400 * kNsec;
+    return nest;
+  };
+
+  LoopNest restrict_nest;
+  restrict_nest.label = "restrict";
+  restrict_nest.loops = {MakeLoop("i", d1, false), MakeLoop("j", d1, false),
+                         MakeLoop("k", d1, false)};
+  restrict_nest.refs = {
+      Ref(1, {2 * d0 * d0, 2 * d0, 2}, 0),             // r0, stride-2 gather
+      Ref(3, {d1 * d1, d1, 1}, 0, /*write=*/true),     // r1
+  };
+  restrict_nest.refs[0].release_analyzable = false;  // stride changes across levels
+  restrict_nest.compute_per_iteration = 300 * kNsec;
+
+  LoopNest smooth_coarse;
+  smooth_coarse.label = "smooth1";
+  smooth_coarse.loops = {MakeLoop("i", d1 - 1, false, 1), MakeLoop("j", d1 - 1, false, 1),
+                         MakeLoop("k", d1 - 1, false, 1)};
+  smooth_coarse.refs = {
+      Ref(2, {d1 * d1, d1, 1}, 0, /*write=*/true),
+      Ref(2, {d1 * d1, d1, 1}, 1),
+      Ref(2, {d1 * d1, d1, 1}, -1),
+      Ref(3, {d1 * d1, d1, 1}, 0),
+  };
+  smooth_coarse.compute_per_iteration = 350 * kNsec;
+
+  LoopNest interp;
+  interp.label = "interp";
+  interp.loops = {MakeLoop("i", d1, false), MakeLoop("j", d1, false), MakeLoop("k", d1, false)};
+  interp.refs = {
+      Ref(2, {d1 * d1, d1, 1}, 0),                            // u1
+      Ref(0, {2 * d0 * d0, 2 * d0, 2}, 0, /*write=*/true),    // u0, stride-2 scatter
+  };
+  interp.refs[1].release_analyzable = false;
+  interp.compute_per_iteration = 300 * kNsec;
+
+  p.nests.push_back(smooth_fine("smooth0_a"));
+  p.nests.push_back(smooth_fine("smooth0_b"));
+  p.nests.push_back(restrict_nest);
+  p.nests.push_back(smooth_coarse);
+  p.nests.push_back(interp);
+  p.nests.push_back(smooth_fine("smooth0_c"));
+  p.repeat = 2;
+  return p;
+}
+
+// --- FFTPDE -------------------------------------------------------------------
+// Butterfly stages of a large FFT. In the strided stages the second butterfly
+// input looks loop-invariant to the compiler (the stride computation defeats
+// its dependence test) while actually marching through the array: the compiler
+// claims temporal reuse that does not exist, attaches priority 1 to those
+// releases, and the buffered run-time layer wrongly retains the pages —
+// FFTPDE's pathology in Figures 7, 9, and 10(b).
+SourceProgram MakeFftpde(double scale) {
+  SourceProgram p;
+  p.name = "FFTPDE";
+  const int64_t n = Scaled(8ll * 1024 * 1024, scale, 4096);
+  p.arrays = {
+      {"X", 16, n, /*on_disk=*/true, nullptr},
+      {"W", 16, 4096, /*on_disk=*/false, nullptr},
+  };
+
+  auto stage = [&](const char* label, int64_t m, bool deceptive) {
+    LoopNest nest;
+    nest.label = label;
+    if (m == 1) {
+      // Stride-1 stage: a single loop over butterfly pairs.
+      nest.loops = {MakeLoop("i", n / 2, false)};
+      nest.refs = {
+          Ref(0, {2}, 0, /*write=*/true),  // X[2i]
+          Ref(0, {2}, 1, /*write=*/true),  // X[2i+1]
+          Ref(1, {0}, 0),                  // twiddle
+      };
+      nest.compute_per_iteration = 600 * kNsec;
+      return nest;
+    }
+    nest.loops = {MakeLoop("k", n / (2 * m), false), MakeLoop("j", m, false)};
+    nest.refs = {
+        Ref(0, {2 * m, 1}, 0, /*write=*/true),  // X[2m*k + j]
+        Ref(0, {2 * m, 1}, m, /*write=*/true),  // X[2m*k + j + m]
+        Ref(1, {0, 1}, 0),                      // twiddle (genuinely reused)
+    };
+    if (deceptive) {
+      // The stride computation defeats the compiler's dependence test: both
+      // butterfly inputs look invariant in k, so the whole stage's releases
+      // carry a false temporal-reuse priority.
+      for (size_t r = 0; r < 2; ++r) {
+        nest.refs[r].runtime_affine = std::make_shared<AffineExpr>(nest.refs[r].affine);
+        nest.refs[r].affine.coeffs = {0, 1};
+      }
+    }
+    nest.compute_per_iteration = 600 * kNsec;
+    return nest;
+  };
+
+  p.nests.push_back(stage("stage_stride1", 1, false));
+  p.nests.push_back(stage("stage_stride2k", 2048, true));
+  p.nests.push_back(stage("stage_stride1M", n / 8, true));
+  p.repeat = 2;
+  return p;
+}
+
+const std::vector<WorkloadInfo>& AllWorkloads() {
+  static const std::vector<WorkloadInfo> kWorkloads = {
+      {"EMBAR", [](double s) { return MakeEmbar(s); }, "1-D, known bounds", "easy"},
+      {"MATVEC", [](double s) { return MakeMatvec(s); }, "multi-dim, known bounds", "easy"},
+      {"BUK", [](double s) { return MakeBuk(s, 0x5eedb00c); }, "unknown bounds + indirect",
+       "moderate"},
+      {"CGM", [](double s) { return MakeCgm(s, 0x5eedc021); }, "unknown bounds + indirect",
+       "moderate"},
+      {"MGRID", [](double s) { return MakeMgrid(s); }, "multi-dim, unknown changing bounds",
+       "hard"},
+      {"FFTPDE", [](double s) { return MakeFftpde(s); }, "stride changes within loops", "hard"},
+  };
+  return kWorkloads;
+}
+
+}  // namespace tmh

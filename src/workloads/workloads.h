@@ -1,0 +1,56 @@
+// Out-of-core benchmark programs (Section 4.2, Table 2).
+//
+// Each factory builds a SourceProgram whose loop-nest structure reproduces the
+// access-pattern features the paper's analysis distinguishes:
+//   MATVEC  — multi-dimensional loops with known bounds; the vector has
+//             temporal reuse whose between-reuse volume exceeds memory, so the
+//             compiler releases it with a nonzero priority (the buffered
+//             policy's showcase).
+//   EMBAR   — one-dimensional loops; perfect analysis, no reuse.
+//   BUK     — unknown bounds + indirect references (bucket sort): two
+//             sequentially accessed arrays plus an equally large
+//             randomly-accessed one that is never released.
+//   CGM     — unknown bounds + indirect references (sparse CG): short inner
+//             loops flood the run-time layer with hints it must filter.
+//   MGRID   — multi-dimensional loops with unknown bounds that change across
+//             calls; single-version code releases pages that the next sweep
+//             reuses, and inter-grid transfers defeat release analysis.
+//   FFTPDE  — strides change within a loop, so the compiler sees temporal
+//             reuse that does not exist and attaches false priorities.
+//
+// Every factory takes a `scale` in (0, 1]; 1.0 reproduces the paper-scale data
+// sets (larger than the 75 MB machine), smaller values make unit tests fast.
+
+#ifndef TMH_SRC_WORKLOADS_WORKLOADS_H_
+#define TMH_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/compiler/ir.h"
+
+namespace tmh {
+
+SourceProgram MakeMatvec(double scale = 1.0);
+SourceProgram MakeEmbar(double scale = 1.0);
+SourceProgram MakeBuk(double scale = 1.0, uint64_t seed = 0x5eed'b00c);
+SourceProgram MakeCgm(double scale = 1.0, uint64_t seed = 0x5eed'c021);
+SourceProgram MakeMgrid(double scale = 1.0);
+SourceProgram MakeFftpde(double scale = 1.0);
+
+struct WorkloadInfo {
+  std::string name;
+  std::function<SourceProgram(double)> factory;
+  // Table 2 description strings.
+  std::string loop_structure;
+  std::string difficulty;
+};
+
+// All six benchmarks in the paper's order.
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,230 @@
+// Tests for the paging daemon (clock sweep, reference-bit sampling, stealing)
+// and the releaser daemon (re-check, writeback, tail insertion).
+
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+#include "src/os/paging_daemon.h"
+#include "src/os/releaser.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+TEST(PagingDaemonTest, IdleWhileMemoryIsAmple) {
+  Kernel kernel(TestMachine(64));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 8; ++p) {
+    ops.push_back(Op::Touch(p, false, kUsec));
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().daemon_activations, 0u);
+  EXPECT_EQ(kernel.stats().daemon_pages_stolen, 0u);
+}
+
+TEST(PagingDaemonTest, ActivatesBelowMinFreemem) {
+  MachineConfig config = TestMachine(16);
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 20);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 20; ++p) {
+    ops.push_back(Op::Touch(p, false, 50 * kUsec));
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_GT(kernel.stats().daemon_activations, 0u);
+  EXPECT_GT(kernel.stats().daemon_invalidations, 0u);
+}
+
+TEST(PagingDaemonTest, InvalidatesBeforeStealing) {
+  // Referenced pages are invalidated on the first encounter (soft-fault seed)
+  // and stolen only on a later pass if still untouched.
+  MachineConfig config = TestMachine(16);
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 40);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 40; ++p) {
+    ops.push_back(Op::Touch(p, false, 50 * kUsec));
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  // Both phases happened, and every steal was preceded by an invalidation.
+  EXPECT_GT(kernel.stats().daemon_invalidations, 0u);
+  EXPECT_GT(kernel.stats().daemon_pages_stolen, 0u);
+  EXPECT_GE(kernel.stats().daemon_invalidations + 16,
+            kernel.stats().daemon_pages_stolen);
+}
+
+TEST(PagingDaemonTest, StolenIdlePagesCauseHardFaultsOnReuse) {
+  // A sleeping task's pages get eroded under sustained pressure (Figure 1).
+  MachineConfig config = TestMachine(32);
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* hog_as = MakeSwapAs(kernel, "hog", 256);
+  AddressSpace* idle_as = MakeAnonAs(kernel, "idle", 4);
+
+  ScriptProgram idle_program({
+      Op::Touch(0, true, 0), Op::Touch(1, true, 0), Op::Touch(2, true, 0),
+      Op::Touch(3, true, 0),
+      Op::Sleep(4 * kSec),  // long sleep while the hog churns memory
+      Op::Touch(0, false, 0), Op::Touch(1, false, 0), Op::Touch(2, false, 0),
+      Op::Touch(3, false, 0),
+  });
+  Thread* idle = kernel.Spawn("idle", idle_as, &idle_program);
+
+  SweeperProgram hog_program(256, 200 * kUsec);
+  Thread* hog = kernel.Spawn("hog", hog_as, &hog_program);
+  (void)hog;
+
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({idle}, 20'000'000));
+  // The idle task's pages were reclaimed while it slept: re-touching them
+  // needed I/O (hard fault) or a rescue.
+  EXPECT_GT(idle->faults().hard_faults + idle->faults().rescue_faults, 0u);
+  EXPECT_GT(idle_as->stats().pages_stolen_from, 0u);
+}
+
+TEST(PagingDaemonTest, MaxrssTrimsOversizedProcess) {
+  MachineConfig config = TestMachine(64);
+  config.tunables.maxrss_pages = 8;
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 32);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 32; ++p) {
+    ops.push_back(Op::Touch(p, false, 100 * kUsec));
+  }
+  ops.push_back(Op::Sleep(2 * config.tunables.daemon_period));
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  // Despite ample free memory, the daemon trimmed the process toward maxrss.
+  EXPECT_GT(as->stats().pages_stolen_from, 0u);
+  EXPECT_LE(as->page_table().resident_count(), 3 * config.tunables.maxrss_pages);
+}
+
+TEST(PagingDaemonTest, HoldsAddressSpaceLockWhileSweeping) {
+  // Lock contention: a fault during a daemon batch waits for the lock. Make
+  // the daemon's per-page work expensive so its lock holds are long.
+  MachineConfig config = TestMachine(16);
+  config.tunables.daemon_batch = 16;
+  config.costs.daemon_scan_per_page = 2 * kMsec;
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 64);
+  std::vector<Op> ops;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (VPage p = 0; p < 64; ++p) {
+      ops.push_back(Op::Touch(p, false, 30 * kUsec));
+    }
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_GT(as->memory_lock().contended_acquisitions(), 0u);
+  EXPECT_GT(t->times().resource_stall, 0);
+}
+
+TEST(ReleaserTest, FreesReleasedPagesToTail) {
+  Kernel kernel(TestMachine(32));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  as->AttachPagingDirected(0, 8);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 4; ++p) {
+    ops.push_back(Op::Touch(p, false, kUsec));
+  }
+  ops.push_back(Op::Release(0, 4, 0, 1));
+  ops.push_back(Op::Sleep(10 * kMsec));
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 4u);
+  EXPECT_EQ(as->page_table().resident_count(), 0);
+  // Bits cleared for the released range.
+  for (VPage p = 0; p < 4; ++p) {
+    EXPECT_FALSE(as->bitmap()->Test(p));
+  }
+}
+
+TEST(ReleaserTest, SkipsPagesReferencedAgainBeforeProcessing) {
+  // A touch between the release request and the releaser's run revalidates
+  // the page; the releaser must skip it.
+  MachineConfig config = TestMachine(32);
+  config.num_cpus = 1;  // keep the releaser off-CPU until the app sleeps
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({
+      Op::Touch(0, false, kUsec),
+      Op::Release(0, 1, 0, 1),
+      Op::Touch(0, false, kUsec),  // re-reference cancels the pending release
+      Op::Sleep(20 * kMsec),
+  });
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 0u);
+  EXPECT_EQ(kernel.stats().releaser_skipped, 1u);
+  EXPECT_EQ(t->faults().release_saves, 1u);
+  EXPECT_TRUE(as->page_table().at(0).resident);
+}
+
+TEST(ReleaserTest, WritesBackDirtyPagesBeforeFreeing) {
+  Kernel kernel(TestMachine(32));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({
+      Op::Touch(0, true, kUsec),  // dirty it
+      Op::Release(0, 1, 0, 1),
+      Op::Sleep(50 * kMsec),
+  });
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().writebacks, 1u);
+  EXPECT_EQ(kernel.swap().writes(), 1u);
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 1u);
+}
+
+TEST(ReleaserTest, ReleaseOfNonResidentPageIsIgnored) {
+  Kernel kernel(TestMachine(32));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Release(2, 1, 0, 1), Op::Sleep(10 * kMsec)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().release_pages_enqueued, 0u);
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 0u);
+}
+
+TEST(ReleaserTest, ReleasedDataSurvivesRoundTrip) {
+  // Released (dirty) page is written to swap; a later touch reads it back.
+  Kernel kernel(TestMachine(32));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({
+      Op::Touch(0, true, kUsec),
+      Op::Release(0, 1, 0, 1),
+      Op::Sleep(60 * kMsec),  // releaser frees (with writeback)
+      Op::Touch(0, false, kUsec),
+  });
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  // Either rescued from the free list or re-read from swap; never zero-filled
+  // twice (the data exists now).
+  EXPECT_EQ(t->faults().zero_fill_faults, 1u);
+  EXPECT_EQ(t->faults().rescue_faults + t->faults().hard_faults, 1u);
+}
+
+}  // namespace
+}  // namespace tmh

@@ -1,0 +1,151 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tmh {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZero) {
+  EventQueue q;
+  EXPECT_EQ(q.Now(), 0);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueueTest, SameTimeEventsRunInFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime observed = -1;
+  q.ScheduleAt(100, [&] { q.ScheduleAfter(50, [&] { observed = q.Now(); }); });
+  q.RunToCompletion();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(EventQueueTest, NowAdvancesOnlyWhenEventsRun) {
+  EventQueue q;
+  q.ScheduleAt(42, [] {});
+  EXPECT_EQ(q.Now(), 0);
+  q.RunOne();
+  EXPECT_EQ(q.Now(), 42);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  q.RunToCompletion();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  EXPECT_EQ(q.RunUntil(20), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.Now(), 20);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockPastEmptyStretch) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.Now(), 500);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.ScheduleAfter(10, chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.Now(), 40);
+}
+
+TEST(EventQueueTest, RunToCompletionHonorsEventCap) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.ScheduleAfter(1, forever); };
+  q.ScheduleAt(0, forever);
+  EXPECT_EQ(q.RunToCompletion(100), 100u);
+}
+
+TEST(EventQueueTest, NextEventTimeReportsEarliestPending) {
+  EventQueue q;
+  EXPECT_EQ(q.NextEventTime(777), 777);
+  q.ScheduleAt(50, [] {});
+  const EventId early = q.ScheduleAt(25, [] {});
+  EXPECT_EQ(q.NextEventTime(0), 25);
+  q.Cancel(early);
+  EXPECT_EQ(q.NextEventTime(0), 50);
+}
+
+TEST(EventQueueTest, ExecutedCountTracksEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.ScheduleAt(i, [] {});
+  }
+  q.RunToCompletion();
+  EXPECT_EQ(q.ExecutedCount(), 7u);
+}
+
+TEST(EventQueueTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      q.ScheduleAt((i * 37) % 50, [&order, i] { order.push_back(i); });
+    }
+    q.RunToCompletion();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tmh

@@ -1,0 +1,112 @@
+// Tests for the extension workloads (RELAX, SHUFFLE, SORTMERGE) and the
+// workload registry lookup.
+
+#include "src/workloads/extra.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+constexpr int64_t kMemoryBytes = 75ll * 1024 * 1024;
+
+TEST(ExtraWorkloadsTest, AllAreOutOfCoreAtFullScale) {
+  for (const WorkloadInfo& info : ExtraWorkloads()) {
+    EXPECT_GT(info.factory(1.0).TotalBytes(), kMemoryBytes) << info.name;
+  }
+}
+
+TEST(ExtraWorkloadsTest, FindWorkloadCoversBothRegistries) {
+  EXPECT_NE(FindWorkload("MATVEC"), nullptr);
+  EXPECT_NE(FindWorkload("RELAX"), nullptr);
+  EXPECT_NE(FindWorkload("SHUFFLE"), nullptr);
+  EXPECT_NE(FindWorkload("SORTMERGE"), nullptr);
+  EXPECT_EQ(FindWorkload("NOPE"), nullptr);
+}
+
+TEST(ExtraWorkloadsTest, RelaxMatchesSection24Analysis) {
+  // The paper's worked example: nine references in one group per plane-row
+  // triple; the leading plane is prefetched, the trailing plane released, and
+  // the middle plane needs neither.
+  const SourceProgram program = MakeRelax(1.0);
+  MachineConfig machine;
+  const CompiledProgram compiled = CompileVersion(program, machine, AppVersion::kBuffered);
+  const CompiledNest& nest = compiled.nests[0];
+  ASSERT_EQ(nest.nest.refs.size(), 9u);
+  // One group: all nine refs share coefficients and nearby constants (the
+  // row span makes +-cols "nearby" under the known-bounds span rule).
+  EXPECT_EQ(nest.analysis.num_groups, 1);
+  int prefetches = 0;
+  int releases = 0;
+  for (const HintDirective& d : nest.directives) {
+    if (d.kind == HintDirective::Kind::kPrefetch) {
+      ++prefetches;
+      // The leading reference is the +cols+1 one (largest constant).
+      EXPECT_EQ(nest.nest.refs[static_cast<size_t>(d.ref)].affine.constant,
+                16 * 1024 + 1);
+    } else {
+      ++releases;
+      EXPECT_EQ(nest.nest.refs[static_cast<size_t>(d.ref)].affine.constant,
+                -(16 * 1024) - 1);
+    }
+  }
+  EXPECT_EQ(prefetches, 1);
+  EXPECT_EQ(releases, 1);
+}
+
+TEST(ExtraWorkloadsTest, ShuffleScatterIsNeverReleased) {
+  const SourceProgram program = MakeShuffle(1.0);
+  MachineConfig machine;
+  const CompiledProgram compiled = CompileVersion(program, machine, AppVersion::kRelease);
+  for (const CompiledNest& nest : compiled.nests) {
+    for (const HintDirective& d : nest.directives) {
+      if (d.kind == HintDirective::Kind::kRelease) {
+        EXPECT_FALSE(nest.nest.refs[static_cast<size_t>(d.ref)].IsIndirect());
+      }
+    }
+  }
+  // The permutation values are valid output indices.
+  const auto& perm = *program.arrays[1].index_values;
+  for (size_t i = 0; i < perm.size(); i += 997) {
+    EXPECT_GE(perm[i], 0);
+    EXPECT_LT(perm[i], program.arrays[2].num_elements);
+  }
+}
+
+TEST(ExtraWorkloadsTest, SortMergeReleasesAllStreamsWithPriorityZero) {
+  const SourceProgram program = MakeSortMerge(1.0);
+  MachineConfig machine;
+  const CompiledProgram compiled = CompileVersion(program, machine, AppVersion::kRelease);
+  EXPECT_GT(compiled.stats.release_directives, 0);
+  EXPECT_EQ(compiled.stats.release_directives_with_reuse, 0);
+}
+
+class ExtraWorkloadEndToEndTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtraWorkloadEndToEndTest, AllVersionsCompleteAndReleasingProtects) {
+  const WorkloadInfo& info = ExtraWorkloads()[static_cast<size_t>(GetParam())];
+  auto run = [&](AppVersion version) {
+    ExperimentSpec spec;
+    spec.machine.user_memory_bytes = static_cast<int64_t>(7.5 * 1024 * 1024);
+    spec.workload = info.factory(0.08);
+    spec.version = version;
+    spec.with_interactive = true;
+    spec.interactive.sleep_time = 2 * kSec;
+    return RunExperiment(spec);
+  };
+  const ExperimentResult p = run(AppVersion::kPrefetch);
+  const ExperimentResult r = run(AppVersion::kRelease);
+  ASSERT_TRUE(p.completed) << info.name;
+  ASSERT_TRUE(r.completed) << info.name;
+  EXPECT_LE(r.kernel.daemon_pages_stolen, p.kernel.daemon_pages_stolen) << info.name;
+  EXPECT_LE(r.interactive->mean_response_ns, p.interactive->mean_response_ns * 1.05)
+      << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Extras, ExtraWorkloadEndToEndTest, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace tmh

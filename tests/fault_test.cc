@@ -1,0 +1,213 @@
+// Tests for the page-fault paths: zero-fill, hard faults, soft faults,
+// rescues, collapse onto in-flight I/O, memory waits, and the shared-page
+// bookkeeping (Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+TEST(FaultTest, FirstTouchOfAnonymousPageIsZeroFill) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  ScriptProgram program({Op::Touch(0, false, kUsec)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().zero_fill_faults, 1u);
+  EXPECT_EQ(t->faults().hard_faults, 0u);
+  EXPECT_EQ(kernel.swap().reads(), 0u);  // no I/O for zero-fill
+  EXPECT_TRUE(as->page_table().at(0).resident);
+  EXPECT_TRUE(as->page_table().at(0).valid);
+}
+
+TEST(FaultTest, SwapBackedPageTakesHardFaultWithIo) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  ScriptProgram program({Op::Touch(2, false, kUsec)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().hard_faults, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);
+  EXPECT_GT(t->times().io_stall, 5 * kMsec);  // waited out the disk
+  EXPECT_GT(t->times().system, 0);
+}
+
+TEST(FaultTest, SecondTouchOfResidentPageIsFree) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  ScriptProgram program({Op::Touch(1, false, 0), Op::Touch(1, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().hard_faults, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);
+}
+
+TEST(FaultTest, ZeroFillPageIsDirtyAndWritesBackOnEviction) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 2);
+  ScriptProgram program({Op::Touch(0, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  const FrameId f = as->page_table().at(0).frame;
+  EXPECT_TRUE(kernel.frames().at(f).dirty);
+}
+
+TEST(FaultTest, WriteTouchMarksFrameDirty) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 2);
+  ScriptProgram program({Op::Touch(0, true, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_TRUE(kernel.frames().at(as->page_table().at(0).frame).dirty);
+}
+
+TEST(FaultTest, InvalidatedPageRevalidatesWithSoftFault) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 2);
+  ScriptProgram program({Op::Touch(0, false, 0), Op::Sleep(10 * kMsec), Op::Touch(0, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  // Run until the page is resident, then invalidate the mapping mid-sleep,
+  // exactly as the paging daemon's reference-bit sampling would.
+  ASSERT_TRUE(kernel.RunUntilDone([&] { return as->page_table().at(0).resident; }));
+  Pte& pte = as->page_table().at(0);
+  pte.valid = false;
+  pte.invalid_reason = InvalidReason::kDaemonInvalidated;
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().soft_faults, 1u);
+  EXPECT_EQ(t->faults().hard_faults, 1u);
+  EXPECT_TRUE(pte.valid);
+}
+
+TEST(FaultTest, MemoryExhaustionBlocksUntilDaemonFrees) {
+  // 16 frames, app wants 24 pages: the daemon must reclaim to let it finish.
+  MachineConfig config = TestMachine(16);
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 24);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 24; ++p) {
+    ops.push_back(Op::Touch(p, false, 10 * kUsec));
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().hard_faults, 24u);
+  EXPECT_GT(kernel.stats().daemon_pages_stolen, 0u);
+  EXPECT_GT(kernel.stats().daemon_activations, 0u);
+}
+
+TEST(FaultTest, RescueRecoversReleasedPageWithoutIo) {
+  // Release a clean page, let the releaser free it to the free-list tail,
+  // then touch it again: the rescue path restores it with no disk read.
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 2);
+  as->AttachPagingDirected(0, 2);
+  ScriptProgram program({Op::Touch(0, false, 0), Op::Release(0, 1, 0, 1),
+                         Op::Sleep(10 * kMsec),  // let the releaser run
+                         Op::Touch(0, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 1u);
+  EXPECT_EQ(t->faults().hard_faults, 1u);  // only the initial page-in
+  EXPECT_EQ(t->faults().rescue_faults, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);  // the rescue needed no second read
+  EXPECT_EQ(kernel.stats().rescued_release_freed, 1u);
+}
+
+TEST(FaultTest, CollapsedFaultWaitsForInflightPageIn) {
+  // Two threads touch the same cold page; only one disk read happens.
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 2);
+  ScriptProgram p1({Op::Touch(0, false, 0)});
+  ScriptProgram p2({Op::Touch(0, false, 0)});
+  Thread* t1 = kernel.Spawn("t1", as, &p1);
+  Thread* t2 = kernel.Spawn("t2", as, &p2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  EXPECT_EQ(kernel.swap().reads(), 1u);
+  EXPECT_EQ(t1->faults().hard_faults + t2->faults().hard_faults, 1u);
+  EXPECT_EQ(t1->faults().collapsed_faults + t2->faults().collapsed_faults, 1u);
+}
+
+TEST(FaultTest, SharedHeaderFollowsEquationOne) {
+  MachineConfig config = TestMachine(32);
+  Kernel kernel(config);
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  as->AttachPagingDirected(0, 8);
+  ScriptProgram program({Op::Touch(0, false, 0), Op::Touch(1, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  const ResidencyBitmap& bitmap = *as->bitmap();
+  EXPECT_EQ(bitmap.current_usage(), 2);
+  // upper = min(maxrss, current + free - min_freemem)
+  const int64_t expected =
+      std::min(config.tunables.maxrss_pages,
+               2 + kernel.FreePages() - config.tunables.min_freemem_pages);
+  EXPECT_EQ(bitmap.upper_limit(), expected);
+}
+
+TEST(FaultTest, BitmapTracksResidency) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  as->AttachPagingDirected(0, 8);
+  ScriptProgram program({Op::Touch(3, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  EXPECT_FALSE(as->bitmap()->Test(3));
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_TRUE(as->bitmap()->Test(3));
+  EXPECT_FALSE(as->bitmap()->Test(2));
+}
+
+TEST(FaultTest, AttachClearsRangeAndSetsRestInitially) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 16);
+  as->AttachPagingDirected(0, 8);  // attach PM to the first half only
+  EXPECT_FALSE(as->bitmap()->Test(0));
+  EXPECT_FALSE(as->bitmap()->Test(7));
+  EXPECT_TRUE(as->bitmap()->Test(8));  // outside the attached range: bits stay set
+}
+
+TEST(FaultTest, TouchDurationChargedAsUserTime) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 2);
+  ScriptProgram program({Op::Touch(0, false, 3 * kMsec), Op::Touch(0, false, 2 * kMsec)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->times().user, 5 * kMsec);
+}
+
+TEST(FaultTest, FaultStatsConservation) {
+  // Every touch resolves through exactly one fault category or a hit.
+  MachineConfig config = TestMachine(16);
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 32);
+  std::vector<Op> ops;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (VPage p = 0; p < 32; ++p) {
+      ops.push_back(Op::Touch(p, p % 3 == 0, 20 * kUsec));
+    }
+  }
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  const FaultStats& f = t->faults();
+  // All 96 touches happened; the page-in work is split across categories.
+  EXPECT_GE(f.hard_faults, 32u);  // at least the cold pass
+  EXPECT_EQ(f.zero_fill_faults, 0u);
+  // Frame conservation: free + mapped + in-flight == total.
+  int64_t mapped = 0;
+  int64_t busy = 0;
+  for (FrameId i = 0; i < kernel.frames().size(); ++i) {
+    const Frame& frame = kernel.frames().at(i);
+    mapped += frame.mapped ? 1 : 0;
+    busy += (!frame.mapped && frame.io_busy) ? 1 : 0;
+  }
+  EXPECT_EQ(mapped + busy + kernel.FreePages(), kernel.frames().size());
+}
+
+}  // namespace
+}  // namespace tmh

@@ -1,0 +1,142 @@
+// Tests for the HTML trace report and the oracle compile mode.
+
+#include "src/core/html_report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/workloads/workloads.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+TraceRecorder SmallTrace() {
+  TraceRecorder trace;
+  trace.AddSeries("free_pages");
+  trace.AddSeries("app_rss");
+  trace.AddSeries("daemon_stolen");
+  trace.AddSeries("releaser_freed");
+  trace.AddSeries("hard_faults");
+  trace.AddSeries("soft_faults");
+  trace.AddSeries("swap_queue");
+  for (int i = 0; i < 50; ++i) {
+    trace.Record(i * 100 * kMsec,
+                 {100.0 - i, static_cast<double>(i), i * 2.0, i * 3.0, i * 1.0, 0.0,
+                  static_cast<double>(i % 5)});
+  }
+  return trace;
+}
+
+TEST(HtmlReportTest, KernelTraceRendersThreeCharts) {
+  const std::string html = RenderKernelTraceHtml(SmallTrace(), "test run");
+  EXPECT_EQ(html.find("<!doctype html>"), 0u);
+  EXPECT_EQ(std::count(html.begin(), html.end(), '\0'), 0);
+  size_t charts = 0;
+  for (size_t pos = html.find("<section class=\"chart\">"); pos != std::string::npos;
+       pos = html.find("<section class=\"chart\">", pos + 1)) {
+    ++charts;
+  }
+  EXPECT_EQ(charts, 3u);
+  EXPECT_NE(html.find("Resident sets and free memory"), std::string::npos);
+  EXPECT_NE(html.find("Swap queue depth"), std::string::npos);
+}
+
+TEST(HtmlReportTest, FixedSlotPaletteWithDarkMode) {
+  const std::string html = RenderKernelTraceHtml(SmallTrace(), "t");
+  EXPECT_NE(html.find("--series-1: #2a78d6"), std::string::npos);  // slot 1, light
+  EXPECT_NE(html.find("--series-1: #3987e5"), std::string::npos);  // slot 1, dark
+  EXPECT_NE(html.find("prefers-color-scheme: dark"), std::string::npos);
+}
+
+TEST(HtmlReportTest, HoverLayerAndTableViewPresent) {
+  const std::string html = RenderKernelTraceHtml(SmallTrace(), "t");
+  EXPECT_NE(html.find("class=\"tooltip\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"crosshair\""), std::string::npos);
+  EXPECT_NE(html.find("mousemove"), std::string::npos);
+  EXPECT_NE(html.find("Data table"), std::string::npos);
+  EXPECT_NE(html.find("application/json"), std::string::npos);
+}
+
+TEST(HtmlReportTest, TitleIsEscaped) {
+  TraceRecorder trace;
+  trace.AddSeries("x");
+  trace.Record(0, {1.0});
+  const std::string html =
+      RenderTraceHtml(trace, "<script>alert(1)</script>", {{"c", "y", {0}}});
+  EXPECT_EQ(html.find("<script>alert(1)</script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EmptyTraceProducesNotes) {
+  TraceRecorder trace;
+  trace.AddSeries("x");
+  const std::string html = RenderTraceHtml(trace, "t", {{"c", "y", {0}}});
+  EXPECT_NE(html.find("(no samples)"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WriteHtmlFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/tmh_report_test.html";
+  ASSERT_TRUE(WriteHtmlFile(path, RenderKernelTraceHtml(SmallTrace(), "t")));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[32] = {};
+  std::fread(head, 1, 15, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(head), "<!doctype html>");
+}
+
+// --- oracle compile mode -----------------------------------------------------------
+
+TEST(OracleTest, PerfectKnowledgeStripMinesAndSeesTrueStrides) {
+  const SourceProgram fftpde = MakeFftpde(1.0);
+  MachineConfig machine;
+  const CompiledProgram normal =
+      CompileVersion(fftpde, machine, AppVersion::kBuffered, false, false);
+  const CompiledProgram oracle =
+      CompileVersion(fftpde, machine, AppVersion::kBuffered, false, true);
+  // The deception disappears: no false-reuse priorities, no unknown bounds.
+  EXPECT_GT(normal.stats.release_directives_with_reuse, 0);
+  EXPECT_EQ(oracle.stats.release_directives_with_reuse, 0);
+  EXPECT_GT(normal.stats.nests_with_unknown_bounds, 0);
+  EXPECT_EQ(oracle.stats.nests_with_unknown_bounds, 0);
+  for (const CompiledNest& nest : oracle.nests) {
+    for (const HintDirective& d : nest.directives) {
+      EXPECT_FALSE(d.every_iteration);
+    }
+    for (const ArrayRef& ref : nest.nest.refs) {
+      EXPECT_EQ(ref.runtime_affine, nullptr);  // folded into the visible expr
+    }
+  }
+}
+
+TEST(OracleTest, MatchesCompilerOnFullyAnalyzableWorkloads) {
+  // For MATVEC the analysis is already perfect: the oracle changes nothing.
+  ExperimentSpec spec;
+  spec.machine.user_memory_bytes = static_cast<int64_t>(7.5 * 1024 * 1024);
+  spec.workload = MakeMatvec(0.1);
+  spec.version = AppVersion::kBuffered;
+  const ExperimentResult normal = RunExperiment(spec);
+  spec.oracle = true;
+  const ExperimentResult oracle = RunExperiment(spec);
+  ASSERT_TRUE(normal.completed && oracle.completed);
+  EXPECT_EQ(normal.app.wall, oracle.app.wall);
+  EXPECT_EQ(normal.swap_reads, oracle.swap_reads);
+}
+
+TEST(OracleTest, SamePageTrafficAsNormalCompilation) {
+  // Perfect knowledge changes hints, never the program's own touches.
+  ExperimentSpec spec;
+  spec.machine.user_memory_bytes = static_cast<int64_t>(7.5 * 1024 * 1024);
+  spec.workload = MakeFftpde(0.08);
+  spec.version = AppVersion::kRelease;
+  const ExperimentResult normal = RunExperiment(spec);
+  spec.oracle = true;
+  const ExperimentResult oracle = RunExperiment(spec);
+  ASSERT_TRUE(normal.completed && oracle.completed);
+  EXPECT_EQ(oracle.app.interp.iterations, normal.app.interp.iterations);
+  EXPECT_EQ(oracle.app.interp.page_touches, normal.app.interp.page_touches);
+}
+
+}  // namespace
+}  // namespace tmh

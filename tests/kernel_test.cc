@@ -1,0 +1,183 @@
+// Tests for the kernel's scheduling, blocking primitives, and time accounting.
+
+#include "src/os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/lock.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+TEST(KernelTest, ComputeOpChargesUserTime) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Compute(5 * kMsec), Op::Compute(3 * kMsec)});
+  Thread* t = kernel.Spawn("t", nullptr, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->times().user, 8 * kMsec);
+  EXPECT_EQ(t->times().system, 0);
+  EXPECT_EQ(t->state(), Thread::State::kDone);
+}
+
+TEST(KernelTest, SleepChargesSleepBucketNotExecution) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Sleep(100 * kMsec), Op::Compute(kMsec)});
+  Thread* t = kernel.Spawn("t", nullptr, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_GE(t->times().sleep, 100 * kMsec);
+  EXPECT_EQ(t->times().user, kMsec);
+  EXPECT_GE(t->finished_at(), 101 * kMsec);
+}
+
+TEST(KernelTest, ExitFinishesThreadAtElapsedTime) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Compute(7 * kMsec)});
+  Thread* t = kernel.Spawn("t", nullptr, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->finished_at() - t->started_at(), 7 * kMsec);
+}
+
+TEST(KernelTest, MoreThreadsThanCpusCausesResourceStall) {
+  MachineConfig config = TestMachine();
+  config.num_cpus = 1;
+  Kernel kernel(config);
+  ScriptProgram p1({Op::Compute(50 * kMsec)});
+  ScriptProgram p2({Op::Compute(50 * kMsec)});
+  Thread* t1 = kernel.Spawn("t1", nullptr, &p1);
+  Thread* t2 = kernel.Spawn("t2", nullptr, &p2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  // One of the two waited for the CPU for a significant stretch.
+  const SimDuration total_stall = t1->times().resource_stall + t2->times().resource_stall;
+  EXPECT_GT(total_stall, 20 * kMsec);
+}
+
+TEST(KernelTest, TwoCpusRunTwoThreadsInParallel) {
+  MachineConfig config = TestMachine();
+  config.num_cpus = 2;
+  Kernel kernel(config);
+  ScriptProgram p1({Op::Compute(50 * kMsec)});
+  ScriptProgram p2({Op::Compute(50 * kMsec)});
+  Thread* t1 = kernel.Spawn("t1", nullptr, &p1);
+  Thread* t2 = kernel.Spawn("t2", nullptr, &p2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  // Both finish around 50ms, not 100ms.
+  EXPECT_LT(kernel.Now(), 70 * kMsec);
+}
+
+TEST(KernelTest, WaitBlocksUntilSignal) {
+  Kernel kernel(TestMachine());
+  WaitQueue wq;
+  ScriptProgram waiter({Op::Wait(&wq), Op::Compute(kMsec)});
+  Thread* t = kernel.Spawn("waiter", nullptr, &waiter);
+  kernel.event_queue().ScheduleAt(30 * kMsec, [&] { kernel.Signal(&wq); });
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_GE(t->finished_at(), 30 * kMsec);
+  EXPECT_GE(t->times().sleep, 25 * kMsec);  // queue wait counted as sleep
+}
+
+TEST(KernelTest, PendingSignalPreventsLostWakeup) {
+  Kernel kernel(TestMachine());
+  WaitQueue wq;
+  kernel.Signal(&wq);  // nobody waiting: remembered
+  ScriptProgram waiter({Op::Wait(&wq), Op::Compute(kMsec)});
+  Thread* t = kernel.Spawn("waiter", nullptr, &waiter);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));  // completes without a second signal
+  EXPECT_EQ(t->state(), Thread::State::kDone);
+}
+
+TEST(KernelTest, LockIsExclusiveAndFifo) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  MemoryLock& lock = as->memory_lock();
+  ScriptProgram holder({Op::Acquire(&lock), Op::Compute(40 * kMsec), Op::ReleaseL(&lock)});
+  ScriptProgram contender({Op::Compute(kMsec), Op::Acquire(&lock), Op::ReleaseL(&lock)});
+  Thread* t1 = kernel.Spawn("holder", as, &holder);
+  Thread* t2 = kernel.Spawn("contender", as, &contender);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  // The contender stalled on the lock for most of the holder's compute.
+  EXPECT_GT(t2->times().resource_stall, 30 * kMsec);
+  EXPECT_EQ(lock.holder(), nullptr);
+  EXPECT_EQ(lock.contended_acquisitions(), 1u);
+}
+
+TEST(KernelTest, LockHandoffWakesWaiterOnce) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  MemoryLock& lock = as->memory_lock();
+  ScriptProgram a({Op::Acquire(&lock), Op::Compute(5 * kMsec), Op::ReleaseL(&lock)});
+  ScriptProgram b({Op::Compute(kMsec), Op::Acquire(&lock), Op::Compute(5 * kMsec),
+                   Op::ReleaseL(&lock)});
+  ScriptProgram c({Op::Compute(2 * kMsec), Op::Acquire(&lock), Op::ReleaseL(&lock)});
+  Thread* ta = kernel.Spawn("a", as, &a);
+  Thread* tb = kernel.Spawn("b", as, &b);
+  Thread* tc = kernel.Spawn("c", as, &c);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({ta, tb, tc}));
+  EXPECT_EQ(lock.holder(), nullptr);
+  EXPECT_EQ(lock.acquisitions(), 3u);
+}
+
+TEST(KernelTest, YieldKeepsThreadRunnable) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Compute(kMsec), Op::Yield(), Op::Compute(kMsec)});
+  Thread* t = kernel.Spawn("t", nullptr, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->times().user, 2 * kMsec);
+}
+
+TEST(KernelTest, DaemonThreadsExcludedFlag) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Compute(kMsec)});
+  Thread* daemon = kernel.Spawn("d", nullptr, &program, /*is_daemon=*/true);
+  EXPECT_TRUE(daemon->is_daemon());
+}
+
+TEST(KernelTest, RunUntilDoneStopsOnPredicate) {
+  Kernel kernel(TestMachine());
+  ScriptProgram program({Op::Compute(kMsec), Op::Sleep(10 * kSec), Op::Compute(kMsec)});
+  Thread* t = kernel.Spawn("t", nullptr, &program);
+  EXPECT_TRUE(kernel.RunUntilDone([&] { return kernel.Now() >= 5 * kSec; }));
+  EXPECT_NE(t->state(), Thread::State::kDone);
+}
+
+TEST(KernelTest, MaxEventsBoundsRunaway) {
+  Kernel kernel(TestMachine());
+  SweeperProgram sweeper(4, kMsec);  // never exits
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  Thread* t = kernel.Spawn("t", as, &sweeper);
+  EXPECT_FALSE(kernel.RunUntilThreadsDone({t}, /*max_events=*/1000));
+}
+
+TEST(KernelTest, CreateAddressSpaceAssignsDisjointSwapExtents) {
+  Kernel kernel(TestMachine());
+  AddressSpace* a = kernel.CreateAddressSpace("a", 10 * 16 * 1024);
+  AddressSpace* b = kernel.CreateAddressSpace("b", 10 * 16 * 1024);
+  EXPECT_EQ(a->SwapSlot(0) + a->num_pages(), b->SwapSlot(0));
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(KernelTest, FreshMachineHasAllFramesFree) {
+  Kernel kernel(TestMachine(48));
+  EXPECT_EQ(kernel.FreePages(), 48);
+  EXPECT_EQ(kernel.frames().size(), 48);
+}
+
+TEST(KernelTest, QuantumSlicingInterleavesThreads) {
+  MachineConfig config = TestMachine();
+  config.num_cpus = 1;
+  config.quantum = 5 * kMsec;
+  Kernel kernel(config);
+  // Many small ops so the quantum (not op granularity) decides slice ends.
+  std::vector<Op> ops(20, Op::Compute(kMsec));
+  ScriptProgram p1(ops);
+  ScriptProgram p2(ops);
+  Thread* t1 = kernel.Spawn("t1", nullptr, &p1);
+  Thread* t2 = kernel.Spawn("t2", nullptr, &p2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  // Round-robin: both finish near the end, not one at 20ms and one at 40ms.
+  EXPECT_GT(t1->finished_at(), 30 * kMsec);
+  EXPECT_GT(t2->finished_at(), 30 * kMsec);
+}
+
+}  // namespace
+}  // namespace tmh

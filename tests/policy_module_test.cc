@@ -1,0 +1,200 @@
+// Tests for the PagingDirected policy module's prefetch and release
+// operations (Section 3.1.2): drop-on-no-memory, no-TLB-validation on
+// completion, rescue via prefetch, in-flight dedup, and the lazily updated
+// shared page.
+
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+TEST(PolicyModuleTest, PrefetchBringsPageInWithoutValidating) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Prefetch(1)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  const Pte& pte = as->page_table().at(1);
+  EXPECT_TRUE(pte.resident);
+  EXPECT_FALSE(pte.valid);  // "the prefetched page is not fully validated"
+  EXPECT_EQ(pte.invalid_reason, InvalidReason::kFreshPrefetch);
+  EXPECT_TRUE(as->bitmap()->Test(1));
+  EXPECT_EQ(kernel.stats().prefetch_io, 1u);
+}
+
+TEST(PolicyModuleTest, TouchAfterPrefetchIsCheapValidation) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Prefetch(1), Op::Touch(1, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(t->faults().fresh_prefetch_touches, 1u);
+  EXPECT_EQ(t->faults().hard_faults, 0u);
+  EXPECT_TRUE(as->page_table().at(1).valid);
+  EXPECT_EQ(kernel.swap().reads(), 1u);  // one read total
+}
+
+TEST(PolicyModuleTest, PrefetchOfResidentPageIsNoop) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Touch(2, false, 0), Op::Prefetch(2)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().prefetch_noop, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);
+}
+
+TEST(PolicyModuleTest, PrefetchDroppedWhenNoFreeMemory) {
+  // Fill all of memory with another process, then prefetch: the request is
+  // "discarded immediately" rather than stealing pages.
+  MachineConfig config = TestMachine(8);
+  Kernel kernel(config);  // no daemons: nothing replenishes the free list
+  AddressSpace* hog = MakeAnonAs(kernel, "hog", 8);
+  std::vector<Op> hog_ops;
+  for (VPage p = 0; p < 8; ++p) {
+    hog_ops.push_back(Op::Touch(p, true, 0));
+  }
+  ScriptProgram hog_program(hog_ops);
+  Thread* hog_thread = kernel.Spawn("hog", hog, &hog_program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({hog_thread}));
+  ASSERT_EQ(kernel.FreePages(), 0);
+
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Prefetch(0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().prefetch_dropped, 1u);
+  EXPECT_FALSE(as->page_table().at(0).resident);
+  EXPECT_EQ(kernel.swap().reads(), 0u);
+}
+
+TEST(PolicyModuleTest, DuplicatePrefetchOfInflightPageIsNoop) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram p1({Op::Prefetch(1)});
+  ScriptProgram p2({Op::Prefetch(1)});
+  Thread* t1 = kernel.Spawn("t1", as, &p1);
+  Thread* t2 = kernel.Spawn("t2", as, &p2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t1, t2}));
+  EXPECT_EQ(kernel.stats().prefetch_io, 1u);
+  EXPECT_EQ(kernel.stats().prefetch_noop, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);
+}
+
+TEST(PolicyModuleTest, PrefetchOfNeverMaterializedAnonymousPageIsNoop) {
+  Kernel kernel(TestMachine());
+  AddressSpace* as = MakeAnonAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Prefetch(0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().prefetch_noop, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 0u);
+}
+
+TEST(PolicyModuleTest, PrefetchRescuesFromFreeList) {
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({
+      Op::Touch(0, false, 0),
+      Op::Release(0, 1, 0, 7),
+      Op::Sleep(10 * kMsec),  // releaser frees the clean page to the tail
+      Op::Prefetch(0),        // prefetch rescues it: no I/O
+  });
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().rescued_release_freed, 1u);
+  EXPECT_EQ(kernel.swap().reads(), 1u);  // only the original page-in
+  EXPECT_TRUE(as->page_table().at(0).resident);
+  EXPECT_FALSE(as->page_table().at(0).valid);  // rescue-by-prefetch stays unvalidated
+}
+
+TEST(PolicyModuleTest, ReleaseRequestInvalidatesAndClearsBit) {
+  MachineConfig config = TestMachine(32);
+  config.num_cpus = 1;  // the releaser cannot run until the app yields
+  Kernel kernel(config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 4);
+  as->AttachPagingDirected(0, 4);
+  ScriptProgram program({Op::Touch(0, false, 0), Op::Release(0, 1, 0, 1), Op::Compute(kUsec)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilDone([&] { return t->state() == Thread::State::kDone; }));
+  // At the instant the app finished (releaser may or may not have run), the
+  // request was recorded.
+  EXPECT_EQ(kernel.stats().release_requests, 1u);
+  EXPECT_EQ(kernel.stats().release_pages_enqueued, 1u);
+  EXPECT_EQ(as->stats().release_requests, 1u);
+}
+
+TEST(PolicyModuleTest, ReleaseRangeCoversMultiplePages) {
+  Kernel kernel(TestMachine(32));
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  as->AttachPagingDirected(0, 8);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 6; ++p) {
+    ops.push_back(Op::Touch(p, false, 0));
+  }
+  ops.push_back(Op::Release(1, 4, 0, 1));  // pages 1..4
+  ops.push_back(Op::Sleep(20 * kMsec));
+  ScriptProgram program(ops);
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 4u);
+  EXPECT_TRUE(as->page_table().at(0).resident);
+  EXPECT_FALSE(as->page_table().at(2).resident);
+  EXPECT_TRUE(as->page_table().at(5).resident);
+}
+
+TEST(PolicyModuleTest, SharedHeaderUpdatesAreLazy) {
+  // The header reflects the last memory activity, not asynchronous changes.
+  Kernel kernel(TestMachine(32));
+  AddressSpace* a = MakeSwapAs(kernel, "a", 8);
+  a->AttachPagingDirected(0, 8);
+  ScriptProgram pa({Op::Touch(0, false, 0)});
+  Thread* ta = kernel.Spawn("ta", a, &pa);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({ta}));
+  const int64_t limit_before = a->bitmap()->upper_limit();
+
+  // Another process consumes memory; A has no activity, so its header is stale.
+  AddressSpace* b = MakeAnonAs(kernel, "b", 16);
+  std::vector<Op> ops;
+  for (VPage p = 0; p < 16; ++p) {
+    ops.push_back(Op::Touch(p, true, 0));
+  }
+  ScriptProgram pb(ops);
+  Thread* tb = kernel.Spawn("tb", b, &pb);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({tb}));
+  EXPECT_EQ(a->bitmap()->upper_limit(), limit_before);  // still stale
+
+  // A's next activity refreshes it downward.
+  ScriptProgram pa2({Op::Touch(1, false, 0)});
+  Thread* ta2 = kernel.Spawn("ta2", a, &pa2);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({ta2}));
+  EXPECT_LT(a->bitmap()->upper_limit(), limit_before);
+}
+
+TEST(PolicyModuleTest, UpperLimitCappedByMaxrss) {
+  MachineConfig config = TestMachine(64);
+  config.tunables.maxrss_pages = 10;
+  Kernel kernel(config);
+  AddressSpace* as = MakeSwapAs(kernel, "as", 8);
+  as->AttachPagingDirected(0, 8);
+  ScriptProgram program({Op::Touch(0, false, 0)});
+  Thread* t = kernel.Spawn("t", as, &program);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(as->bitmap()->upper_limit(), 10);
+}
+
+}  // namespace
+}  // namespace tmh

@@ -1,0 +1,64 @@
+// Tests for the report-formatting helpers.
+
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace tmh {
+namespace {
+
+TEST(ReportTableTest, RendersHeaderUnderlineAndRows) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Four lines: header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(ReportTableTest, ColumnsWidenToFitContent) {
+  ReportTable table({"x"});
+  table.AddRow({"a-very-long-cell"});
+  const std::string out = table.ToString();
+  // Underline must cover the widest cell.
+  EXPECT_NE(out.find("----------------"), std::string::npos);
+}
+
+TEST(ReportTableTest, ShortRowsArePadded) {
+  ReportTable table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_NO_FATAL_FAILURE(table.ToString());
+}
+
+TEST(ReportTableTest, NumericCellsRightAligned) {
+  ReportTable table({"name", "count"});
+  table.AddRow({"x", "5"});
+  table.AddRow({"y", "12345"});
+  const std::string out = table.ToString();
+  // The short number is padded on the left (right-aligned under "count").
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(123456789), "123456789");
+}
+
+TEST(FormatTest, FormatSecondsPicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSeconds(0.025), "25.00 ms");
+  EXPECT_EQ(FormatSeconds(0.000004), "4.0 us");
+}
+
+}  // namespace
+}  // namespace tmh

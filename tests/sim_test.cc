@@ -1,0 +1,174 @@
+// Tests for the RNG and statistics primitives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace tmh {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.NextU64() == b.NextU64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // uniform mean
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(17);
+  int counts[10] = {};
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.NextBelow(10)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(5);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(5);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(AccumulatorTest, TracksSumMinMaxMean) {
+  Accumulator acc;
+  acc.Add(2.0);
+  acc.Add(8.0);
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+}
+
+TEST(AccumulatorTest, ResetClears) {
+  Accumulator acc;
+  acc.Add(1.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.sum(), 0.0);
+}
+
+TEST(HistogramTest, BucketsSamplesByUpperBound) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.Add(5);     // < 10
+  h.Add(10);    // < 100 (bounds are exclusive uppers)
+  h.Add(99);    // < 100
+  h.Add(5000);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Add(5.0);  // all in first bucket
+  }
+  EXPECT_GT(h.Quantile(0.5), 0.0);
+  EXPECT_LE(h.Quantile(0.5), 10.0);
+  EXPECT_LE(h.Quantile(0.99), 10.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsCounts) {
+  Histogram h({1.0, 2.0});
+  h.Add(0.5);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.counts()[0], 0u);
+}
+
+TEST(HistogramTest, ExponentialBoundsGrowByRatio) {
+  const auto bounds = ExponentialBounds(1.0, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(kUsec, 1000 * kNsec);
+  EXPECT_EQ(kMsec, 1000 * kUsec);
+  EXPECT_EQ(kSec, 1000 * kMsec);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSec), 2.0);
+  EXPECT_DOUBLE_EQ(ToMillis(3 * kMsec), 3.0);
+  EXPECT_DOUBLE_EQ(ToMicros(7 * kUsec), 7.0);
+}
+
+}  // namespace
+}  // namespace tmh

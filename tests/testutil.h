@@ -1,0 +1,88 @@
+// Shared fixtures and helpers for the test suite.
+
+#ifndef TMH_TESTS_TESTUTIL_H_
+#define TMH_TESTS_TESTUTIL_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "src/os/config.h"
+#include "src/os/kernel.h"
+#include "src/os/thread.h"
+
+namespace tmh {
+
+// A small, fast machine for unit tests: 64 frames (1 MB at 16 KB pages),
+// 2 CPUs, 4 swap disks, snappy daemon.
+inline MachineConfig TestMachine(int64_t frames = 64) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.user_memory_bytes = frames * config.page_size_bytes;
+  config.swap.num_disks = 4;
+  config.swap.disks_per_controller = 2;
+  config.tunables.min_freemem_pages = 4;
+  config.tunables.target_freemem_pages = 12;
+  config.tunables.daemon_period = 50 * kMsec;
+  return config;
+}
+
+// Runs a fixed list of Ops, then exits.
+class ScriptProgram : public Program {
+ public:
+  explicit ScriptProgram(std::vector<Op> ops) : ops_(std::move(ops)) {}
+  ScriptProgram(std::initializer_list<Op> ops) : ops_(ops) {}
+
+  Op Next(Kernel& kernel) override {
+    (void)kernel;
+    if (next_ < ops_.size()) {
+      return ops_[next_++];
+    }
+    return Op::Exit();
+  }
+
+  // Appends another op; only safe before the program reaches its end.
+  void Append(Op op) { ops_.push_back(op); }
+
+ private:
+  std::vector<Op> ops_;
+  size_t next_ = 0;
+};
+
+// Touches pages [0, n) of its address space forever, `gap` apart in time.
+class SweeperProgram : public Program {
+ public:
+  SweeperProgram(VPage n, SimDuration gap) : n_(n), gap_(gap) {}
+
+  Op Next(Kernel& kernel) override {
+    (void)kernel;
+    const VPage page = cursor_;
+    cursor_ = (cursor_ + 1) % n_;
+    return Op::Touch(page, /*write=*/false, gap_);
+  }
+
+ private:
+  VPage n_;
+  SimDuration gap_;
+  VPage cursor_ = 0;
+};
+
+// Creates an address space with one swap-backed region covering all pages.
+inline AddressSpace* MakeSwapAs(Kernel& kernel, const std::string& name, VPage pages) {
+  AddressSpace* as =
+      kernel.CreateAddressSpace(name, pages * kernel.config().page_size_bytes);
+  as->AddRegion(Region{"data", 0, pages, Backing::kSwap});
+  return as;
+}
+
+// Creates an address space with one anonymous (zero-fill) region.
+inline AddressSpace* MakeAnonAs(Kernel& kernel, const std::string& name, VPage pages) {
+  AddressSpace* as =
+      kernel.CreateAddressSpace(name, pages * kernel.config().page_size_bytes);
+  as->AddRegion(Region{"data", 0, pages, Backing::kZeroFill});
+  return as;
+}
+
+}  // namespace tmh
+
+#endif  // TMH_TESTS_TESTUTIL_H_

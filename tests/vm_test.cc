@@ -1,0 +1,249 @@
+// Tests for the physical-memory structures: free list (with rescue), frame
+// table, page table, and residency bitmap.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+#include "src/vm/frame_table.h"
+#include "src/vm/free_list.h"
+#include "src/vm/page_table.h"
+#include "src/vm/residency_bitmap.h"
+
+namespace tmh {
+namespace {
+
+TEST(FreeListTest, PopFromEmptyReturnsNoFrame) {
+  FreeList list(8);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopHead(), kNoFrame);
+}
+
+TEST(FreeListTest, HeadPushesPopInLifoOrder) {
+  FreeList list(8);
+  list.PushHead(1);
+  list.PushHead(2);
+  list.PushHead(3);
+  EXPECT_EQ(list.PopHead(), 3);
+  EXPECT_EQ(list.PopHead(), 2);
+  EXPECT_EQ(list.PopHead(), 1);
+}
+
+TEST(FreeListTest, TailPushesPopInFifoOrder) {
+  FreeList list(8);
+  list.PushTail(1);
+  list.PushTail(2);
+  list.PushTail(3);
+  EXPECT_EQ(list.PopHead(), 1);
+  EXPECT_EQ(list.PopHead(), 2);
+  EXPECT_EQ(list.PopHead(), 3);
+}
+
+TEST(FreeListTest, TailInsertMaximizesRescueWindow) {
+  // A released page (tail) outlives a daemon-stolen page (head) on the list.
+  FreeList list(8);
+  list.PushHead(0);  // stolen
+  list.PushTail(1);  // released
+  EXPECT_EQ(list.PopHead(), 0);  // the stolen page is reallocated first
+  EXPECT_TRUE(list.Contains(1));
+}
+
+TEST(FreeListTest, RemoveFromMiddle) {
+  FreeList list(8);
+  list.PushTail(1);
+  list.PushTail(2);
+  list.PushTail(3);
+  list.Remove(2);
+  EXPECT_FALSE(list.Contains(2));
+  EXPECT_EQ(list.size(), 2);
+  EXPECT_EQ(list.PopHead(), 1);
+  EXPECT_EQ(list.PopHead(), 3);
+}
+
+TEST(FreeListTest, RemoveHeadAndTail) {
+  FreeList list(8);
+  list.PushTail(1);
+  list.PushTail(2);
+  list.PushTail(3);
+  list.Remove(1);
+  list.Remove(3);
+  EXPECT_EQ(list.size(), 1);
+  EXPECT_EQ(list.PopHead(), 2);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(FreeListTest, ContainsReflectsMembership) {
+  FreeList list(8);
+  EXPECT_FALSE(list.Contains(3));
+  list.PushTail(3);
+  EXPECT_TRUE(list.Contains(3));
+  list.PopHead();
+  EXPECT_FALSE(list.Contains(3));
+  EXPECT_FALSE(list.Contains(-1));
+  EXPECT_FALSE(list.Contains(100));
+}
+
+TEST(FreeListTest, CountersTrackOperations) {
+  FreeList list(8);
+  list.PushHead(0);
+  list.PushTail(1);
+  list.PushTail(2);
+  list.Remove(1);
+  EXPECT_EQ(list.total_head_pushes(), 1u);
+  EXPECT_EQ(list.total_tail_pushes(), 2u);
+  EXPECT_EQ(list.total_rescues(), 1u);
+}
+
+// Property sweep: random push/pop/remove sequences keep the intrusive list
+// consistent with a reference model.
+class FreeListPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FreeListPropertyTest, MatchesReferenceModel) {
+  const int kFrames = 32;
+  FreeList list(kFrames);
+  std::vector<FrameId> model;  // front = head
+  Rng rng(GetParam());
+  std::vector<bool> linked(kFrames, false);
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t op = rng.NextBelow(4);
+    const auto f = static_cast<FrameId>(rng.NextBelow(kFrames));
+    switch (op) {
+      case 0:
+        if (!linked[f]) {
+          list.PushHead(f);
+          model.insert(model.begin(), f);
+          linked[f] = true;
+        }
+        break;
+      case 1:
+        if (!linked[f]) {
+          list.PushTail(f);
+          model.push_back(f);
+          linked[f] = true;
+        }
+        break;
+      case 2: {
+        const FrameId got = list.PopHead();
+        if (model.empty()) {
+          ASSERT_EQ(got, kNoFrame);
+        } else {
+          ASSERT_EQ(got, model.front());
+          linked[model.front()] = false;
+          model.erase(model.begin());
+        }
+        break;
+      }
+      case 3:
+        if (linked[f]) {
+          list.Remove(f);
+          model.erase(std::find(model.begin(), model.end(), f));
+          linked[f] = false;
+        }
+        break;
+    }
+    ASSERT_EQ(list.size(), static_cast<int64_t>(model.size()));
+    for (FrameId i = 0; i < kFrames; ++i) {
+      ASSERT_EQ(list.Contains(i), linked[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreeListPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(FrameTableTest, ResetIdentityClearsEverything) {
+  FrameTable frames(4);
+  Frame& f = frames.at(2);
+  f.owner = 1;
+  f.vpage = 99;
+  f.mapped = true;
+  f.dirty = true;
+  f.referenced = true;
+  f.contents_valid = true;
+  f.io_busy = true;
+  f.freed_by = FreedBy::kReleaser;
+  frames.ResetIdentity(2);
+  EXPECT_EQ(f.owner, kNoAs);
+  EXPECT_EQ(f.vpage, kNoVPage);
+  EXPECT_FALSE(f.mapped);
+  EXPECT_FALSE(f.dirty);
+  EXPECT_FALSE(f.referenced);
+  EXPECT_FALSE(f.contents_valid);
+  EXPECT_FALSE(f.io_busy);
+  EXPECT_EQ(f.freed_by, FreedBy::kNone);
+}
+
+TEST(PageTableTest, ResidentCountMaintained) {
+  PageTable pt(10);
+  EXPECT_EQ(pt.resident_count(), 0);
+  pt.IncrementResident();
+  pt.IncrementResident();
+  EXPECT_EQ(pt.resident_count(), 2);
+  pt.DecrementResident();
+  EXPECT_EQ(pt.resident_count(), 1);
+}
+
+TEST(PageTableTest, FreshPteIsEmpty) {
+  PageTable pt(4);
+  const Pte& pte = pt.at(3);
+  EXPECT_EQ(pte.frame, kNoFrame);
+  EXPECT_FALSE(pte.resident);
+  EXPECT_FALSE(pte.valid);
+  EXPECT_EQ(pte.invalid_reason, InvalidReason::kNone);
+  EXPECT_FALSE(pte.ever_materialized);
+}
+
+TEST(ResidencyBitmapTest, SetClearTest) {
+  ResidencyBitmap bitmap(200);
+  EXPECT_FALSE(bitmap.Test(100));
+  bitmap.Set(100);
+  EXPECT_TRUE(bitmap.Test(100));
+  bitmap.Clear(100);
+  EXPECT_FALSE(bitmap.Test(100));
+}
+
+TEST(ResidencyBitmapTest, SetAllThenClearRange) {
+  ResidencyBitmap bitmap(130);
+  bitmap.SetAll();
+  EXPECT_TRUE(bitmap.Test(0));
+  EXPECT_TRUE(bitmap.Test(129));
+  bitmap.ClearRange(10, 20);
+  EXPECT_TRUE(bitmap.Test(9));
+  EXPECT_FALSE(bitmap.Test(10));
+  EXPECT_FALSE(bitmap.Test(29));
+  EXPECT_TRUE(bitmap.Test(30));
+}
+
+TEST(ResidencyBitmapTest, PopCountCountsSetBits) {
+  ResidencyBitmap bitmap(100);
+  EXPECT_EQ(bitmap.PopCount(), 0);
+  bitmap.Set(0);
+  bitmap.Set(63);
+  bitmap.Set(64);
+  bitmap.Set(99);
+  EXPECT_EQ(bitmap.PopCount(), 4);
+}
+
+TEST(ResidencyBitmapTest, HeaderWordsRoundTrip) {
+  ResidencyBitmap bitmap(10);
+  EXPECT_EQ(bitmap.current_usage(), 0);
+  EXPECT_EQ(bitmap.upper_limit(), 0);
+  bitmap.SetHeader(42, 4096);
+  EXPECT_EQ(bitmap.current_usage(), 42);
+  EXPECT_EQ(bitmap.upper_limit(), 4096);
+}
+
+TEST(ResidencyBitmapTest, WordBoundaryBitsIndependent) {
+  ResidencyBitmap bitmap(256);
+  for (VPage p : {62, 63, 64, 65, 127, 128, 191, 192}) {
+    bitmap.Set(p);
+  }
+  EXPECT_FALSE(bitmap.Test(61));
+  EXPECT_TRUE(bitmap.Test(62));
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_FALSE(bitmap.Test(66));
+  EXPECT_EQ(bitmap.PopCount(), 8);
+}
+
+}  // namespace
+}  // namespace tmh

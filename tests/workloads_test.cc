@@ -1,0 +1,247 @@
+// Tests for the benchmark programs: each must exhibit the Table 2 access
+// features its paper counterpart is chosen for, and must be out-of-core at
+// full scale.
+
+#include "src/workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compile.h"
+#include "src/core/experiment.h"
+#include "src/workloads/interactive.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+constexpr int64_t kMemoryBytes = 75ll * 1024 * 1024;
+
+CompiledProgram CompileFull(const SourceProgram& program) {
+  MachineConfig machine;
+  return CompileVersion(program, machine, AppVersion::kBuffered);
+}
+
+TEST(WorkloadsTest, AllWorkloadsAreOutOfCoreAtFullScale) {
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    const SourceProgram program = info.factory(1.0);
+    EXPECT_GT(program.TotalBytes(), kMemoryBytes)
+        << info.name << " must exceed the 75 MB machine";
+  }
+}
+
+TEST(WorkloadsTest, RegistryHasSixBenchmarksInPaperOrder) {
+  const auto& all = AllWorkloads();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "EMBAR");
+  EXPECT_EQ(all[1].name, "MATVEC");
+  EXPECT_EQ(all[2].name, "BUK");
+  EXPECT_EQ(all[3].name, "CGM");
+  EXPECT_EQ(all[4].name, "MGRID");
+  EXPECT_EQ(all[5].name, "FFTPDE");
+}
+
+TEST(WorkloadsTest, ScalingShrinksDataSets) {
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    const SourceProgram full = info.factory(1.0);
+    const SourceProgram small = info.factory(0.1);
+    EXPECT_LT(small.TotalBytes(), full.TotalBytes()) << info.name;
+  }
+}
+
+TEST(WorkloadsTest, MatvecVectorGetsReusePriorityRelease) {
+  const CompiledProgram compiled = CompileFull(MakeMatvec(1.0));
+  // Exactly one release directive carries a nonzero priority: the vector x.
+  EXPECT_EQ(compiled.stats.release_directives_with_reuse, 1);
+  int found = 0;
+  for (const HintDirective& d : compiled.nests[0].directives) {
+    if (d.kind == HintDirective::Kind::kRelease && d.priority > 0) {
+      EXPECT_EQ(d.priority, 1);  // Eq. 2: temporal reuse in loop i (depth 0)
+      EXPECT_EQ(compiled.source.arrays[static_cast<size_t>(
+                    compiled.nests[0].nest.refs[static_cast<size_t>(d.ref)].array)].name,
+                "x");
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST(WorkloadsTest, MatvecBoundsAreKnown) {
+  const CompiledProgram compiled = CompileFull(MakeMatvec(1.0));
+  EXPECT_EQ(compiled.stats.nests_with_unknown_bounds, 0);
+  for (const HintDirective& d : compiled.nests[0].directives) {
+    EXPECT_FALSE(d.every_iteration);
+  }
+}
+
+TEST(WorkloadsTest, EmbarHasOnlyPriorityZeroReleases) {
+  const CompiledProgram compiled = CompileFull(MakeEmbar(1.0));
+  EXPECT_GT(compiled.stats.release_directives, 0);
+  EXPECT_EQ(compiled.stats.release_directives_with_reuse, 0);
+}
+
+TEST(WorkloadsTest, BukIndirectArraysAreNeverReleased) {
+  const SourceProgram program = MakeBuk(1.0, 1);
+  const CompiledProgram compiled = CompileFull(program);
+  EXPECT_GT(compiled.stats.indirect_refs, 0);
+  for (const CompiledNest& nest : compiled.nests) {
+    for (const HintDirective& d : nest.directives) {
+      if (d.kind == HintDirective::Kind::kRelease) {
+        EXPECT_FALSE(nest.nest.refs[static_cast<size_t>(d.ref)].IsIndirect())
+            << "indirect references must not be released";
+      }
+    }
+  }
+}
+
+TEST(WorkloadsTest, BukIndexValuesAreDeterministicPerSeed) {
+  const SourceProgram a = MakeBuk(1.0, 42);
+  const SourceProgram b = MakeBuk(1.0, 42);
+  const SourceProgram c = MakeBuk(1.0, 43);
+  EXPECT_EQ(*a.arrays[0].index_values, *b.arrays[0].index_values);
+  EXPECT_NE(*a.arrays[0].index_values, *c.arrays[0].index_values);
+}
+
+TEST(WorkloadsTest, BukIndexValuesAreValidBucketIds) {
+  const SourceProgram program = MakeBuk(0.2, 7);
+  const int64_t buckets = program.arrays[1].num_elements;
+  for (const int64_t v : *program.arrays[0].index_values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, buckets);
+  }
+}
+
+TEST(WorkloadsTest, CgmHasUnknownBoundsAndIndirection) {
+  const CompiledProgram compiled = CompileFull(MakeCgm(1.0, 1));
+  EXPECT_GT(compiled.stats.nests_with_unknown_bounds, 0);
+  EXPECT_GT(compiled.stats.indirect_refs, 0);
+  // Unknown bounds force every-iteration hint evaluation (the CGM flood).
+  bool any_every_iteration = false;
+  for (const CompiledNest& nest : compiled.nests) {
+    for (const HintDirective& d : nest.directives) {
+      any_every_iteration = any_every_iteration || d.every_iteration;
+    }
+  }
+  EXPECT_TRUE(any_every_iteration);
+}
+
+TEST(WorkloadsTest, MgridInterGridTransfersAreNotReleased) {
+  const SourceProgram program = MakeMgrid(1.0);
+  const CompiledProgram compiled = CompileFull(program);
+  for (const CompiledNest& nest : compiled.nests) {
+    for (const HintDirective& d : nest.directives) {
+      if (d.kind == HintDirective::Kind::kRelease) {
+        EXPECT_TRUE(nest.nest.refs[static_cast<size_t>(d.ref)].release_analyzable);
+      }
+    }
+  }
+}
+
+TEST(WorkloadsTest, MgridStencilFormsGroupsWithLeaderAndTrailer) {
+  const SourceProgram program = MakeMgrid(1.0);
+  const CompiledProgram compiled = CompileFull(program);
+  const NestAnalysis& smooth = compiled.nests[0].analysis;
+  // The +-1 and +-d0 offsets cluster around the center; the far +-d0^2 planes
+  // are separate streams. Either way there are both leaders and trailers.
+  int leaders = 0;
+  int trailers = 0;
+  for (const RefReuse& reuse : smooth.refs) {
+    leaders += reuse.is_group_leader ? 1 : 0;
+    trailers += reuse.is_group_trailer ? 1 : 0;
+  }
+  EXPECT_GT(smooth.num_groups, 1);
+  EXPECT_EQ(leaders, smooth.num_groups);
+  EXPECT_EQ(trailers, smooth.num_groups);
+}
+
+TEST(WorkloadsTest, FftpdeDeceptiveStagesCarryFalseReusePriorities) {
+  const CompiledProgram compiled = CompileFull(MakeFftpde(1.0));
+  // The strided stages' X releases claim reuse (priority > 0) although the
+  // runtime expressions actually march.
+  EXPECT_GT(compiled.stats.release_directives_with_reuse, 0);
+  bool deceptive_found = false;
+  for (const CompiledNest& nest : compiled.nests) {
+    for (const ArrayRef& ref : nest.nest.refs) {
+      if (ref.runtime_affine != nullptr) {
+        deceptive_found = true;
+        EXPECT_NE(ref.runtime_affine->coeffs, ref.affine.coeffs);
+      }
+    }
+  }
+  EXPECT_TRUE(deceptive_found);
+}
+
+TEST(WorkloadsTest, Table2FeatureMatrix) {
+  // EMBAR: 1-D known. MATVEC: multi-dim known. BUK/CGM: unknown + indirect.
+  // MGRID: multi-dim unknown. FFTPDE: deceptive strides.
+  const SourceProgram embar = MakeEmbar(1.0);
+  for (const LoopNest& nest : embar.nests) {
+    EXPECT_EQ(nest.depth(), 1);
+    for (const Loop& loop : nest.loops) {
+      EXPECT_TRUE(loop.upper_known);
+    }
+  }
+  const SourceProgram matvec = MakeMatvec(1.0);
+  EXPECT_GT(matvec.nests[0].depth(), 1);
+  const SourceProgram mgrid = MakeMgrid(1.0);
+  for (const LoopNest& nest : mgrid.nests) {
+    EXPECT_GT(nest.depth(), 1);
+    for (const Loop& loop : nest.loops) {
+      EXPECT_FALSE(loop.upper_known);
+    }
+  }
+}
+
+TEST(InteractiveTaskTest, SweepsTouchDataAndTextThenSleep) {
+  Kernel kernel(TestMachine(128));
+  AddressSpace* as = MakeAnonAs(kernel, "i", 65);
+  InteractiveConfig config;
+  config.data_pages = 64;
+  config.text_pages = 1;
+  config.sleep_time = 100 * kMsec;
+  config.max_sweeps = 3;
+  InteractiveTask task(as, config);
+  Thread* t = kernel.Spawn("i", as, &task);
+  task.BindThread(t);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  EXPECT_EQ(task.sweeps_completed(), 3);
+  EXPECT_EQ(task.response_series().size(), 3u);
+  // Two full sleeps between three sweeps.
+  EXPECT_GE(t->times().sleep, 200 * kMsec);
+  EXPECT_EQ(t->faults().zero_fill_faults, 65u);
+}
+
+TEST(InteractiveTaskTest, WarmSweepsAreFast) {
+  Kernel kernel(TestMachine(128));
+  AddressSpace* as = MakeAnonAs(kernel, "i", 65);
+  InteractiveConfig config;
+  config.sleep_time = 10 * kMsec;
+  config.max_sweeps = 5;
+  InteractiveTask task(as, config);
+  Thread* t = kernel.Spawn("i", as, &task);
+  task.BindThread(t);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  // Later sweeps hit resident pages: response == pure compute.
+  const auto& series = task.response_series();
+  const double warm = static_cast<double>(series.back());
+  const double cold = static_cast<double>(series.front());
+  EXPECT_LT(warm, cold);
+  EXPECT_NEAR(warm, 65.0 * 10 * kUsec, 65.0 * 10 * kUsec);
+}
+
+TEST(InteractiveTaskTest, ResponseTimeExcludesSleep) {
+  Kernel kernel(TestMachine(128));
+  AddressSpace* as = MakeAnonAs(kernel, "i", 65);
+  InteractiveConfig config;
+  config.sleep_time = 5 * kSec;  // long sleeps
+  config.max_sweeps = 3;
+  InteractiveTask task(as, config);
+  Thread* t = kernel.Spawn("i", as, &task);
+  task.BindThread(t);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  for (const SimDuration response : task.response_series()) {
+    EXPECT_LT(response, kSec);  // far below the sleep time
+  }
+}
+
+}  // namespace
+}  // namespace tmh

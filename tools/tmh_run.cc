@@ -1,0 +1,318 @@
+// tmh_run — command-line driver for the library.
+//
+// Runs any workload at any treatment level on a configurable machine and
+// prints the full metric dump; optionally writes a time-series trace CSV.
+//
+//   tmh_run --workload MATVEC --version B --scale 0.25 --interactive
+//           (add --trace /tmp/run.csv for a time-series CSV)
+//
+// Run with --help for the full flag list, --list for the workload roster.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/html_report.h"
+#include "src/core/report.h"
+#include "src/workloads/extra.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+struct Flags {
+  std::string workload = "MATVEC";
+  std::string version = "B";
+  double scale = 1.0;
+  bool interactive = false;
+  double sleep_s = 5.0;
+  bool adaptive = false;
+  bool oracle = false;
+  std::string trace_path;
+  std::string html_path;
+  double trace_period_s = 0.1;
+  int64_t memory_mb = 0;          // 0 = scale the 75 MB default
+  int64_t local_partition = 0;    // pages; 0 = global replacement
+  int release_batch = 100;
+  int prefetch_threads = 8;
+  bool drain_newest_first = false;
+  bool json = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "tmh_run — run one out-of-core experiment and dump its metrics\n\n"
+      "  --workload NAME     workload to run (--list shows the roster; default MATVEC)\n"
+      "  --version X         O | P | R | B | V (reactive)        [B]\n"
+      "  --scale F           workload+machine scale in (0,1]     [1.0]\n"
+      "  --memory-mb N       user memory in MB (overrides scale) [75*scale]\n"
+      "  --interactive       run the 1 MB interactive task alongside\n"
+      "  --sleep S           interactive think time in seconds   [5]\n"
+      "  --adaptive          re-specialize unknown-bound nests at run time\n"
+      "  --oracle            compile with perfect knowledge (hand-tuned baseline)\n"
+      "  --local-partition N per-process resident cap in pages (local replacement)\n"
+      "  --batch N           buffered-release drain batch        [100]\n"
+      "  --threads N         prefetch pool size                  [8]\n"
+      "  --drain-mru         drain buffered releases newest-first\n"
+      "  --trace PATH        write a time-series CSV to PATH\n"
+      "  --html PATH         write a standalone HTML trace report to PATH\n"
+      "  --trace-period S    trace sample period in seconds      [0.1]\n"
+      "  --json              emit machine-readable JSON instead of tables\n"
+      "  --list              list available workloads and exit\n");
+}
+
+void PrintWorkloads() {
+  tmh::ReportTable table({"workload", "loop structure", "data set (full scale)", "set"});
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    table.AddRow({info.name, info.loop_structure,
+                  tmh::FormatDouble(
+                      static_cast<double>(info.factory(1.0).TotalBytes()) / (1024 * 1024), 0) +
+                      " MB",
+                  "paper"});
+  }
+  for (const tmh::WorkloadInfo& info : tmh::ExtraWorkloads()) {
+    table.AddRow({info.name, info.loop_structure,
+                  tmh::FormatDouble(
+                      static_cast<double>(info.factory(1.0).TotalBytes()) / (1024 * 1024), 0) +
+                      " MB",
+                  "extension"});
+  }
+  table.Print();
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--list") {
+      PrintWorkloads();
+      std::exit(0);
+    } else if (arg == "--workload") {
+      flags->workload = next("--workload");
+    } else if (arg == "--version") {
+      flags->version = next("--version");
+    } else if (arg == "--scale") {
+      flags->scale = std::atof(next("--scale"));
+    } else if (arg == "--memory-mb") {
+      flags->memory_mb = std::atoll(next("--memory-mb"));
+    } else if (arg == "--interactive") {
+      flags->interactive = true;
+    } else if (arg == "--sleep") {
+      flags->sleep_s = std::atof(next("--sleep"));
+    } else if (arg == "--adaptive") {
+      flags->adaptive = true;
+    } else if (arg == "--oracle") {
+      flags->oracle = true;
+    } else if (arg == "--local-partition") {
+      flags->local_partition = std::atoll(next("--local-partition"));
+    } else if (arg == "--batch") {
+      flags->release_batch = std::atoi(next("--batch"));
+    } else if (arg == "--threads") {
+      flags->prefetch_threads = std::atoi(next("--threads"));
+    } else if (arg == "--drain-mru") {
+      flags->drain_newest_first = true;
+    } else if (arg == "--json") {
+      flags->json = true;
+    } else if (arg == "--trace") {
+      flags->trace_path = next("--trace");
+    } else if (arg == "--html") {
+      flags->html_path = next("--html");
+    } else if (arg == "--trace-period") {
+      flags->trace_period_s = std::atof(next("--trace-period"));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+tmh::AppVersion ParseVersion(const std::string& s) {
+  if (s == "O") return tmh::AppVersion::kOriginal;
+  if (s == "P") return tmh::AppVersion::kPrefetch;
+  if (s == "R") return tmh::AppVersion::kRelease;
+  if (s == "B") return tmh::AppVersion::kBuffered;
+  if (s == "V") return tmh::AppVersion::kReactive;
+  std::fprintf(stderr, "unknown version '%s' (use O, P, R, B, or V)\n", s.c_str());
+  std::exit(2);
+}
+
+// Machine-readable dump of the headline metrics (stable key names).
+void PrintJson(const Flags& flags, const tmh::WorkloadInfo& info,
+               const tmh::ExperimentSpec& spec, const tmh::ExperimentResult& result) {
+  const tmh::TimeBreakdown& t = result.app.times;
+  std::printf("{\n");
+  std::printf("  \"workload\": \"%s\",\n", info.name.c_str());
+  std::printf("  \"version\": \"%s\",\n", tmh::VersionLabel(spec.version));
+  std::printf("  \"scale\": %.4f,\n", flags.scale);
+  std::printf("  \"completed\": %s,\n", result.completed ? "true" : "false");
+  std::printf("  \"times_s\": {\"execution\": %.6f, \"user\": %.6f, \"system\": %.6f, "
+              "\"resource_stall\": %.6f, \"io_stall\": %.6f},\n",
+              tmh::ToSeconds(t.Execution()), tmh::ToSeconds(t.user), tmh::ToSeconds(t.system),
+              tmh::ToSeconds(t.resource_stall), tmh::ToSeconds(t.io_stall));
+  const tmh::FaultStats& f = result.app.faults;
+  std::printf("  \"faults\": {\"hard\": %llu, \"collapsed\": %llu, \"soft\": %llu, "
+              "\"rescue\": %llu, \"zero_fill\": %llu, \"release_saves\": %llu},\n",
+              (unsigned long long)f.hard_faults, (unsigned long long)f.collapsed_faults,
+              (unsigned long long)f.soft_faults, (unsigned long long)f.rescue_faults,
+              (unsigned long long)f.zero_fill_faults, (unsigned long long)f.release_saves);
+  std::printf("  \"kernel\": {\"daemon_activations\": %llu, \"daemon_pages_stolen\": %llu, "
+              "\"daemon_invalidations\": %llu, \"releaser_pages_freed\": %llu, "
+              "\"reactive_evictions\": %llu, \"local_evictions\": %llu, "
+              "\"rescued\": %llu},\n",
+              (unsigned long long)result.kernel.daemon_activations,
+              (unsigned long long)result.kernel.daemon_pages_stolen,
+              (unsigned long long)result.kernel.daemon_invalidations,
+              (unsigned long long)result.kernel.releaser_pages_freed,
+              (unsigned long long)result.kernel.reactive_evictions,
+              (unsigned long long)result.kernel.local_evictions,
+              (unsigned long long)(result.kernel.rescued_daemon_freed +
+                                   result.kernel.rescued_release_freed));
+  std::printf("  \"swap\": {\"reads\": %llu, \"writes\": %llu}",
+              (unsigned long long)result.swap_reads, (unsigned long long)result.swap_writes);
+  if (result.interactive.has_value()) {
+    const tmh::InteractiveMetrics& im = *result.interactive;
+    std::printf(",\n  \"interactive\": {\"sweeps\": %lld, \"mean_response_ms\": %.4f, "
+                "\"max_response_ms\": %.4f, \"hard_faults_per_sweep\": %.3f}",
+                (long long)im.sweeps, im.mean_response_ns / 1e6, im.max_response_ns / 1e6,
+                im.hard_faults_per_sweep);
+  }
+  std::printf("\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    return 2;
+  }
+  if (flags.scale <= 0 || flags.scale > 1.0) {
+    std::fprintf(stderr, "--scale must be in (0, 1]\n");
+    return 2;
+  }
+  const tmh::WorkloadInfo* info = tmh::FindWorkload(flags.workload);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; --list shows the roster\n",
+                 flags.workload.c_str());
+    return 2;
+  }
+
+  tmh::ExperimentSpec spec;
+  if (flags.memory_mb > 0) {
+    spec.machine.user_memory_bytes = flags.memory_mb * 1024 * 1024;
+  } else {
+    spec.machine.user_memory_bytes = static_cast<int64_t>(
+        static_cast<double>(spec.machine.user_memory_bytes) * flags.scale);
+  }
+  spec.machine.tunables.local_partition_pages = flags.local_partition;
+  spec.workload = info->factory(flags.scale);
+  spec.version = ParseVersion(flags.version);
+  spec.adaptive = flags.adaptive;
+  spec.oracle = flags.oracle;
+  spec.with_interactive = flags.interactive;
+  spec.interactive.sleep_time = static_cast<tmh::SimDuration>(flags.sleep_s * tmh::kSec);
+  spec.runtime.release_batch = flags.release_batch;
+  spec.runtime.num_prefetch_threads = flags.prefetch_threads;
+  spec.runtime.drain_newest_first = flags.drain_newest_first;
+  if (!flags.trace_path.empty() || !flags.html_path.empty()) {
+    spec.trace_period = static_cast<tmh::SimDuration>(flags.trace_period_s * tmh::kSec);
+  }
+
+  if (!flags.json) {
+    std::printf("%s version %s at scale %.2f on a %.1f MB machine%s\n\n", info->name.c_str(),
+                tmh::VersionLabel(spec.version), flags.scale,
+                static_cast<double>(spec.machine.user_memory_bytes) / (1024 * 1024),
+                flags.adaptive ? " (adaptive)" : "");
+  }
+  const tmh::ExperimentResult result = tmh::RunExperiment(spec);
+  if (!result.completed) {
+    std::fprintf(stderr, "WARNING: run did not complete within the event budget\n");
+  }
+
+  if (flags.json) {
+    PrintJson(flags, *info, spec, result);
+    return result.completed ? 0 : 1;
+  }
+
+  const tmh::TimeBreakdown& t = result.app.times;
+  tmh::ReportTable times({"metric", "value"});
+  times.AddRow({"execution time", tmh::FormatSeconds(tmh::ToSeconds(t.Execution()))});
+  times.AddRow({"  user", tmh::FormatSeconds(tmh::ToSeconds(t.user))});
+  times.AddRow({"  system", tmh::FormatSeconds(tmh::ToSeconds(t.system))});
+  times.AddRow({"  resource stall", tmh::FormatSeconds(tmh::ToSeconds(t.resource_stall))});
+  times.AddRow({"  I/O stall", tmh::FormatSeconds(tmh::ToSeconds(t.io_stall))});
+  times.Print();
+  std::printf("\n");
+
+  tmh::ReportTable counters({"counter", "value"});
+  const tmh::FaultStats& f = result.app.faults;
+  counters.AddRow({"hard faults", tmh::FormatCount(f.hard_faults)});
+  counters.AddRow({"collapsed faults", tmh::FormatCount(f.collapsed_faults)});
+  counters.AddRow({"soft faults", tmh::FormatCount(f.soft_faults)});
+  counters.AddRow({"rescue faults", tmh::FormatCount(f.rescue_faults)});
+  counters.AddRow({"zero-fill faults", tmh::FormatCount(f.zero_fill_faults)});
+  counters.AddRow({"swap reads / writes", tmh::FormatCount(result.swap_reads) + " / " +
+                                              tmh::FormatCount(result.swap_writes)});
+  counters.AddRow({"daemon activations", tmh::FormatCount(result.kernel.daemon_activations)});
+  counters.AddRow({"daemon pages stolen", tmh::FormatCount(result.kernel.daemon_pages_stolen)});
+  counters.AddRow({"daemon invalidations", tmh::FormatCount(result.kernel.daemon_invalidations)});
+  counters.AddRow({"releaser pages freed", tmh::FormatCount(result.kernel.releaser_pages_freed)});
+  counters.AddRow({"reactive evictions", tmh::FormatCount(result.kernel.reactive_evictions)});
+  counters.AddRow({"local evictions", tmh::FormatCount(result.kernel.local_evictions)});
+  counters.AddRow({"pages rescued", tmh::FormatCount(result.kernel.rescued_daemon_freed +
+                                                     result.kernel.rescued_release_freed)});
+  if (result.app.runtime.has_value()) {
+    const tmh::RuntimeStats& rt = *result.app.runtime;
+    counters.AddRow({"prefetch hints (filtered)",
+                     tmh::FormatCount(rt.prefetch_hints) + " (" +
+                         tmh::FormatCount(rt.prefetch_filtered_resident) + ")"});
+    counters.AddRow({"release hints (filtered)",
+                     tmh::FormatCount(rt.release_hints) + " (" +
+                         tmh::FormatCount(rt.release_filtered_same_page +
+                                          rt.release_filtered_not_resident) +
+                         ")"});
+    counters.AddRow({"releases buffered / drained",
+                     tmh::FormatCount(rt.releases_buffered) + " / " +
+                         tmh::FormatCount(rt.releases_issued_from_buffer)});
+  }
+  counters.Print();
+
+  if (flags.interactive && result.interactive.has_value()) {
+    const tmh::InteractiveMetrics& im = *result.interactive;
+    std::printf("\ninteractive task: %lld sweeps, mean response %s, worst %s, "
+                "hard faults/sweep %.1f\n",
+                static_cast<long long>(im.sweeps),
+                tmh::FormatSeconds(im.mean_response_ns / 1e9).c_str(),
+                tmh::FormatSeconds(im.max_response_ns / 1e9).c_str(),
+                im.hard_faults_per_sweep);
+  }
+  if (!flags.html_path.empty()) {
+    const std::string html = tmh::RenderKernelTraceHtml(
+        result.trace, info->name + " (" + tmh::VersionLabel(spec.version) + ")");
+    if (tmh::WriteHtmlFile(flags.html_path, html)) {
+      std::printf("\nHTML report written to %s\n", flags.html_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write HTML to %s\n", flags.html_path.c_str());
+    }
+  }
+  if (!flags.trace_path.empty()) {
+    if (result.trace.WriteCsv(flags.trace_path)) {
+      std::printf("\ntrace written to %s (%zu samples)\n", flags.trace_path.c_str(),
+                  result.trace.samples().size());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", flags.trace_path.c_str());
+    }
+  }
+  return 0;
+}
