@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_batch_size.dir/ablate_batch_size.cc.o"
+  "CMakeFiles/ablate_batch_size.dir/ablate_batch_size.cc.o.d"
+  "ablate_batch_size"
+  "ablate_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_prefetch_threads.dir/ablate_prefetch_threads.cc.o"
+  "CMakeFiles/ablate_prefetch_threads.dir/ablate_prefetch_threads.cc.o.d"
+  "ablate_prefetch_threads"
+  "ablate_prefetch_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_prefetch_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_priority.dir/ablate_priority.cc.o"
+  "CMakeFiles/ablate_priority.dir/ablate_priority.cc.o.d"
+  "ablate_priority"
+  "ablate_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rescue.dir/ablate_rescue.cc.o"
+  "CMakeFiles/ablate_rescue.dir/ablate_rescue.cc.o.d"
+  "ablate_rescue"
+  "ablate_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

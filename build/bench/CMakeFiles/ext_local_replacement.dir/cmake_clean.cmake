@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_local_replacement.dir/ext_local_replacement.cc.o"
+  "CMakeFiles/ext_local_replacement.dir/ext_local_replacement.cc.o.d"
+  "ext_local_replacement"
+  "ext_local_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_local_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiprog.dir/ext_multiprog.cc.o"
+  "CMakeFiles/ext_multiprog.dir/ext_multiprog.cc.o.d"
+  "ext_multiprog"
+  "ext_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_oracle.dir/ext_oracle.cc.o"
+  "CMakeFiles/ext_oracle.dir/ext_oracle.cc.o.d"
+  "ext_oracle"
+  "ext_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reactive.dir/ext_reactive.cc.o"
+  "CMakeFiles/ext_reactive.dir/ext_reactive.cc.o.d"
+  "ext_reactive"
+  "ext_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

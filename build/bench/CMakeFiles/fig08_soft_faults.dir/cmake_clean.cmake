@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_soft_faults.dir/fig08_soft_faults.cc.o"
+  "CMakeFiles/fig08_soft_faults.dir/fig08_soft_faults.cc.o.d"
+  "fig08_soft_faults"
+  "fig08_soft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_soft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_freed_pages.dir/fig09_freed_pages.cc.o"
+  "CMakeFiles/fig09_freed_pages.dir/fig09_freed_pages.cc.o.d"
+  "fig09_freed_pages"
+  "fig09_freed_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_freed_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

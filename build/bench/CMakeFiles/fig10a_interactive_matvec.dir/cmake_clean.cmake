@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_interactive_matvec.dir/fig10a_interactive_matvec.cc.o"
+  "CMakeFiles/fig10a_interactive_matvec.dir/fig10a_interactive_matvec.cc.o.d"
+  "fig10a_interactive_matvec"
+  "fig10a_interactive_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_interactive_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

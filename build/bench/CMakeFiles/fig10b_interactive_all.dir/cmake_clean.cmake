@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_interactive_all.dir/fig10b_interactive_all.cc.o"
+  "CMakeFiles/fig10b_interactive_all.dir/fig10b_interactive_all.cc.o.d"
+  "fig10b_interactive_all"
+  "fig10b_interactive_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_interactive_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_hard_faults.dir/fig10c_hard_faults.cc.o"
+  "CMakeFiles/fig10c_hard_faults.dir/fig10c_hard_faults.cc.o.d"
+  "fig10c_hard_faults"
+  "fig10c_hard_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_hard_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

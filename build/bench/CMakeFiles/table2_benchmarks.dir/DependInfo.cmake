@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_benchmarks.cc" "bench/CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cc.o" "gcc" "bench/CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tmh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tmh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tmh_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tmh_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

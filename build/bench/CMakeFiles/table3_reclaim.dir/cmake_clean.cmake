@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_reclaim.dir/table3_reclaim.cc.o"
+  "CMakeFiles/table3_reclaim.dir/table3_reclaim.cc.o.d"
+  "table3_reclaim"
+  "table3_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

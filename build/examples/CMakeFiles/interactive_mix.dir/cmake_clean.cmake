@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_mix.dir/interactive_mix.cpp.o"
+  "CMakeFiles/interactive_mix.dir/interactive_mix.cpp.o.d"
+  "interactive_mix"
+  "interactive_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

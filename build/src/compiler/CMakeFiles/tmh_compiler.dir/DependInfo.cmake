@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/tmh_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/tmh_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/tmh_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/tmh_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/tmh_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/tmh_compiler.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_compiler.dir/analysis.cc.o"
+  "CMakeFiles/tmh_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/tmh_compiler.dir/compile.cc.o"
+  "CMakeFiles/tmh_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/tmh_compiler.dir/ir.cc.o"
+  "CMakeFiles/tmh_compiler.dir/ir.cc.o.d"
+  "libtmh_compiler.a"
+  "libtmh_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_core.dir/experiment.cc.o"
+  "CMakeFiles/tmh_core.dir/experiment.cc.o.d"
+  "CMakeFiles/tmh_core.dir/html_report.cc.o"
+  "CMakeFiles/tmh_core.dir/html_report.cc.o.d"
+  "CMakeFiles/tmh_core.dir/report.cc.o"
+  "CMakeFiles/tmh_core.dir/report.cc.o.d"
+  "libtmh_core.a"
+  "libtmh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk.cc" "src/disk/CMakeFiles/tmh_disk.dir/disk.cc.o" "gcc" "src/disk/CMakeFiles/tmh_disk.dir/disk.cc.o.d"
+  "/root/repo/src/disk/swap_space.cc" "src/disk/CMakeFiles/tmh_disk.dir/swap_space.cc.o" "gcc" "src/disk/CMakeFiles/tmh_disk.dir/swap_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_disk.dir/disk.cc.o"
+  "CMakeFiles/tmh_disk.dir/disk.cc.o.d"
+  "CMakeFiles/tmh_disk.dir/swap_space.cc.o"
+  "CMakeFiles/tmh_disk.dir/swap_space.cc.o.d"
+  "libtmh_disk.a"
+  "libtmh_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

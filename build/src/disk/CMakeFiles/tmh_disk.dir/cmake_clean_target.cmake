@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmh_disk.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/tmh_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/tmh_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/paging_daemon.cc" "src/os/CMakeFiles/tmh_os.dir/paging_daemon.cc.o" "gcc" "src/os/CMakeFiles/tmh_os.dir/paging_daemon.cc.o.d"
+  "/root/repo/src/os/releaser.cc" "src/os/CMakeFiles/tmh_os.dir/releaser.cc.o" "gcc" "src/os/CMakeFiles/tmh_os.dir/releaser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tmh_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmh_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_os.dir/kernel.cc.o"
+  "CMakeFiles/tmh_os.dir/kernel.cc.o.d"
+  "CMakeFiles/tmh_os.dir/paging_daemon.cc.o"
+  "CMakeFiles/tmh_os.dir/paging_daemon.cc.o.d"
+  "CMakeFiles/tmh_os.dir/releaser.cc.o"
+  "CMakeFiles/tmh_os.dir/releaser.cc.o.d"
+  "libtmh_os.a"
+  "libtmh_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

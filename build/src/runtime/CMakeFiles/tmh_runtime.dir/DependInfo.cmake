@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/interpreter.cc" "src/runtime/CMakeFiles/tmh_runtime.dir/interpreter.cc.o" "gcc" "src/runtime/CMakeFiles/tmh_runtime.dir/interpreter.cc.o.d"
+  "/root/repo/src/runtime/prefetch_pool.cc" "src/runtime/CMakeFiles/tmh_runtime.dir/prefetch_pool.cc.o" "gcc" "src/runtime/CMakeFiles/tmh_runtime.dir/prefetch_pool.cc.o.d"
+  "/root/repo/src/runtime/runtime_layer.cc" "src/runtime/CMakeFiles/tmh_runtime.dir/runtime_layer.cc.o" "gcc" "src/runtime/CMakeFiles/tmh_runtime.dir/runtime_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/tmh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tmh_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tmh_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

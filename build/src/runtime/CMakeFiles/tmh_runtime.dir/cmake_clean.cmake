@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/tmh_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/tmh_runtime.dir/prefetch_pool.cc.o"
+  "CMakeFiles/tmh_runtime.dir/prefetch_pool.cc.o.d"
+  "CMakeFiles/tmh_runtime.dir/runtime_layer.cc.o"
+  "CMakeFiles/tmh_runtime.dir/runtime_layer.cc.o.d"
+  "libtmh_runtime.a"
+  "libtmh_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

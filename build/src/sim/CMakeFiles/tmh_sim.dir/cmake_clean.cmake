@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tmh_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tmh_sim.dir/rng.cc.o"
+  "CMakeFiles/tmh_sim.dir/rng.cc.o.d"
+  "CMakeFiles/tmh_sim.dir/stats.cc.o"
+  "CMakeFiles/tmh_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tmh_sim.dir/trace.cc.o"
+  "CMakeFiles/tmh_sim.dir/trace.cc.o.d"
+  "libtmh_sim.a"
+  "libtmh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_vm.dir/free_list.cc.o"
+  "CMakeFiles/tmh_vm.dir/free_list.cc.o.d"
+  "libtmh_vm.a"
+  "libtmh_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_workloads.dir/extra.cc.o"
+  "CMakeFiles/tmh_workloads.dir/extra.cc.o.d"
+  "CMakeFiles/tmh_workloads.dir/interactive.cc.o"
+  "CMakeFiles/tmh_workloads.dir/interactive.cc.o.d"
+  "CMakeFiles/tmh_workloads.dir/workloads.cc.o"
+  "CMakeFiles/tmh_workloads.dir/workloads.cc.o.d"
+  "libtmh_workloads.a"
+  "libtmh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

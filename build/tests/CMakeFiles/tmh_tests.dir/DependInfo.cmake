@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/tmh_tests.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/chaos_test.cc.o.d"
+  "/root/repo/tests/compiler_test.cc" "tests/CMakeFiles/tmh_tests.dir/compiler_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/compiler_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/tmh_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/daemon_test.cc" "tests/CMakeFiles/tmh_tests.dir/daemon_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/daemon_test.cc.o.d"
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/tmh_tests.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/disk_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/tmh_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/tmh_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/tmh_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/extra_workloads_test.cc" "tests/CMakeFiles/tmh_tests.dir/extra_workloads_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/extra_workloads_test.cc.o.d"
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/tmh_tests.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/fault_test.cc.o.d"
+  "/root/repo/tests/html_report_test.cc" "tests/CMakeFiles/tmh_tests.dir/html_report_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/html_report_test.cc.o.d"
+  "/root/repo/tests/interpreter_test.cc" "tests/CMakeFiles/tmh_tests.dir/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/interpreter_test.cc.o.d"
+  "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/tmh_tests.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/kernel_test.cc.o.d"
+  "/root/repo/tests/os_edge_test.cc" "tests/CMakeFiles/tmh_tests.dir/os_edge_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/os_edge_test.cc.o.d"
+  "/root/repo/tests/policy_module_test.cc" "tests/CMakeFiles/tmh_tests.dir/policy_module_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/policy_module_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tmh_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/tmh_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/runtime_layer_test.cc" "tests/CMakeFiles/tmh_tests.dir/runtime_layer_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/runtime_layer_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/tmh_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/tmh_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/vm_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/tmh_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/tmh_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tmh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tmh_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tmh_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/tmh_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmh_run.dir/tmh_run.cc.o"
+  "CMakeFiles/tmh_run.dir/tmh_run.cc.o.d"
+  "tmh_run"
+  "tmh_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmh_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

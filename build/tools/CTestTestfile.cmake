@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_tmh_run_list "/root/repo/build/tools/tmh_run" "--list")
+set_tests_properties(tool_tmh_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tmh_run_small "/root/repo/build/tools/tmh_run" "--workload" "EMBAR" "--version" "R" "--scale" "0.08")
+set_tests_properties(tool_tmh_run_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tmh_run_reactive "/root/repo/build/tools/tmh_run" "--workload" "BUK" "--version" "V" "--scale" "0.08" "--interactive" "--sleep" "1")
+set_tests_properties(tool_tmh_run_reactive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tmh_run_html "/root/repo/build/tools/tmh_run" "--workload" "MATVEC" "--version" "B" "--scale" "0.08" "--html" "/root/repo/build/tmh_run_test.html")
+set_tests_properties(tool_tmh_run_html PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
