@@ -30,6 +30,24 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
 
+void BM_EventQueueCancelHalf(benchmark::State& state) {
+  // Cancellation is O(1) (generation stamp); the cancelled items then die as
+  // stale entries during the radix-wheel drain. Guards both halves.
+  std::vector<EventId> ids(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      ids[static_cast<size_t>(i)] = q.ScheduleAt((i * 7919) % 100000, [] {});
+    }
+    for (int i = 0; i < state.range(0); i += 2) {
+      q.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    q.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueCancelHalf)->Arg(10000);
+
 void BM_FreeListChurn(benchmark::State& state) {
   const int64_t frames = state.range(0);
   FreeList list(frames);
@@ -61,6 +79,23 @@ void BM_BitmapSetTestClear(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BitmapSetTestClear);
+
+void BM_BitmapRangeOps(benchmark::State& state) {
+  // Word-wise SetRange/FindFirstResident/ClearRange over region-sized spans —
+  // the paging-directed setup/teardown and rescue-scan paths.
+  const int64_t pages = 32768;
+  const int64_t span = state.range(0);
+  ResidencyBitmap bitmap(pages);
+  for (auto _ : state) {
+    for (int64_t first = 0; first + span <= pages; first += span) {
+      bitmap.SetRange(first, span);
+      benchmark::DoNotOptimize(bitmap.FindFirstResident(first, span));
+      bitmap.ClearRange(first, span);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (pages / span) * span * 3);
+}
+BENCHMARK(BM_BitmapRangeOps)->Arg(512)->Arg(37);
 
 void BM_CompilerPass(benchmark::State& state) {
   const SourceProgram program = MakeMgrid(1.0);  // the most nests and refs
@@ -120,6 +155,41 @@ void BM_RuntimeHintFiltering(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RuntimeHintFiltering);
+
+void BM_RuntimeBufferedDrain(benchmark::State& state) {
+  // The buffered policy at its worst: every hint buffers a page while the
+  // process sits at its recommended limit, so each accept enters MaybeDrain
+  // and issues from the per-tag queues (exercising the once-per-drain tag
+  // resolution and the hoisted bitmap stale check).
+  MachineConfig machine;
+  machine.user_memory_bytes = 8 * 1024 * 1024;
+  Kernel kernel(machine);
+  kernel.StartDaemons();
+  AddressSpace* as = kernel.CreateAddressSpace("as", 4 * 1024 * 1024);
+  as->AddRegion(Region{"data", 0, as->num_pages(), Backing::kSwap});
+  as->AttachPagingDirected(0, as->num_pages());
+  RuntimeOptions options;
+  options.buffered = true;
+  options.num_prefetch_threads = 1;
+  RuntimeLayer layer(&kernel, as, options);
+  const VPage num_pages = as->num_pages();
+  for (VPage p = 0; p < num_pages; ++p) {
+    as->bitmap()->Set(p);
+  }
+  // At the limit: every buffered page triggers a drain pass.
+  as->bitmap()->SetHeader(num_pages, num_pages);
+  std::vector<Op> out;
+  VPage page = 0;
+  int32_t tag = 1;
+  for (auto _ : state) {
+    layer.OnReleaseHint(page, /*priority=*/1, tag, out);
+    page = (page + 1) % num_pages;
+    tag = 1 + (tag & 3);  // rotate four tags
+    out.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeBufferedDrain);
 
 void BM_EndToEndExperiment(benchmark::State& state) {
   // A small but complete experiment: compiler + runtime + kernel + disks.

@@ -196,6 +196,7 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
   result.trace = kernel.trace();
   result.swap_reads = kernel.swap().reads();
   result.swap_writes = kernel.swap().writes();
+  result.sim_events = kernel.event_queue().ExecutedCount();
   return result;
 }
 
@@ -217,6 +218,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   result.trace = std::move(inner.trace);
   result.swap_reads = inner.swap_reads;
   result.swap_writes = inner.swap_writes;
+  result.sim_events = inner.sim_events;
   result.completed = inner.completed;
   result.daemon_activations = inner.kernel.daemon_activations;
   // The free-list rescue counter is kernel-global; recover it from the stats.

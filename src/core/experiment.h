@@ -97,6 +97,7 @@ struct ExperimentResult {
   uint64_t swap_writes = 0;
   uint64_t free_list_rescues = 0;
   uint64_t daemon_activations = 0;
+  uint64_t sim_events = 0;  // events the kernel's queue executed (substrate load)
   bool completed = false;  // app thread reached kDone within max_events
 };
 
@@ -131,6 +132,7 @@ struct MultiExperimentResult {
   TraceRecorder trace;
   uint64_t swap_reads = 0;
   uint64_t swap_writes = 0;
+  uint64_t sim_events = 0;  // events the kernel's queue executed (substrate load)
   bool completed = false;  // every app finished within the event budget
 };
 

@@ -49,30 +49,36 @@ AddressSpace* Releaser::GatherBatch() {
 SimDuration Releaser::ProcessBatch() {
   Kernel& k = *kernel_;
   const CostModel& costs = k.config_.costs;
+  // One batch touches one address space (GatherBatch stops at a boundary), so
+  // resolve its tables and counters once for the whole ~batch_limit pass.
+  PageTable& page_table = batch_as_->page_table();
+  AsStats& as_stats = batch_as_->stats();
+  FrameTable& frames = k.frames_;
+  const bool release_to_tail = k.config_.tunables.release_to_tail;
   SimDuration cost = 0;
   ++k.stats_.releaser_batches;
   for (const VPage p : batch_) {
     cost += costs.releaser_per_page;
-    Pte& pte = batch_as_->page_table().at(p);
+    Pte& pte = page_table.at(p);
     // Re-check that the page has not been referenced again (a re-touch
     // revalidated the mapping and re-set the bitmap bit) and is still ours.
     if (!pte.resident || pte.valid ||
         pte.invalid_reason != InvalidReason::kReleasePending) {
       ++k.stats_.releaser_skipped;
-      ++batch_as_->stats().releases_skipped;
+      ++as_stats.releases_skipped;
       continue;
     }
-    Frame& fr = k.frames_.at(pte.frame);
+    Frame& fr = frames.at(pte.frame);
     if (!fr.mapped || fr.io_busy) {
       ++k.stats_.releaser_skipped;
-      ++batch_as_->stats().releases_skipped;
+      ++as_stats.releases_skipped;
       continue;
     }
     const FrameId f = pte.frame;
     k.UnmapFrame(batch_as_, p, FreedBy::kReleaser);
-    k.FreeFrame(f, /*at_tail=*/k.config_.tunables.release_to_tail);
+    k.FreeFrame(f, /*at_tail=*/release_to_tail);
     ++k.stats_.releaser_pages_freed;
-    ++batch_as_->stats().pages_released;
+    ++as_stats.pages_released;
   }
   k.UpdateSharedHeader(batch_as_);
   return std::max<SimDuration>(cost, 1);

@@ -40,18 +40,31 @@ SimDuration RuntimeLayer::OnReleaseHint(VPage page, int32_t priority, int32_t ta
   // page means it is still in use and is dropped; a different page causes the
   // *previously recorded* page to be handled, keeping issued releases one or
   // more iterations behind the compiler's stream.
-  auto [it, inserted] = last_release_.try_emplace(tag, page);
-  if (!inserted) {
-    if (it->second == page) {
-      ++stats_.release_filtered_same_page;
+  //
+  // The compiled hint stream names one tag for long runs (one hint per
+  // iteration of the same nest), so the map node found last time is cached and
+  // re-hit without a hash lookup. unordered_map never invalidates element
+  // pointers on insert; FlushTag (the only erase) drops the cache.
+  VPage* last;
+  if (tag == cached_tag_ && cached_last_ != nullptr) {
+    last = cached_last_;
+  } else {
+    auto [it, inserted] = last_release_.try_emplace(tag, page);
+    cached_tag_ = tag;
+    cached_last_ = &it->second;
+    if (inserted) {
       return cost;
     }
-    const VPage previous = it->second;
-    it->second = page;
-    PolicyAccept(previous, priority, tag, out);
-    return cost + options_.enqueue_cost;
+    last = cached_last_;
   }
-  return cost;
+  if (*last == page) {
+    ++stats_.release_filtered_same_page;
+    return cost;
+  }
+  const VPage previous = *last;
+  *last = page;
+  PolicyAccept(previous, priority, tag, out);
+  return cost + options_.enqueue_cost;
 }
 
 SimDuration RuntimeLayer::OnPrefetchHintBatch(VPage page, int64_t repeats) {
@@ -88,6 +101,7 @@ SimDuration RuntimeLayer::FlushTag(int32_t tag, std::vector<Op>& out) {
   ++stats_.tag_flushes;
   const VPage page = it->second;
   last_release_.erase(it);
+  cached_last_ = nullptr;  // the erased node may be the cached one
   int32_t priority = 0;
   if (const auto tq = tag_queues_.find(tag); tq != tag_queues_.end()) {
     priority = tq->second.priority;
@@ -144,11 +158,21 @@ void RuntimeLayer::MaybeDrain(std::vector<Op>& out) {
   // Lowest priority first; round-robin across the tags at each priority;
   // within a tag, most-recently-released first (MRU for swept arrays).
   for (auto& [priority, tags] : priority_list_) {
+    // Resolve each tag's queue once per drain. The round-robin below revisits
+    // every tag once per pass, so for a ~100-page batch spread over a few tags
+    // that was one hash lookup per page; against the scratch array it is an
+    // indexed load. The bitmap reference hoisted above is equally valid for
+    // the stale check: draining only appends Ops, it never flips residency.
+    drain_queues_.clear();
+    drain_queues_.reserve(tags.size());
+    for (const int32_t tag : tags) {
+      drain_queues_.push_back(&tag_queues_[tag]);
+    }
     bool any = true;
     while (remaining > 0 && any) {
       any = false;
-      for (const int32_t tag : tags) {
-        TagQueue& queue = tag_queues_[tag];
+      for (size_t i = 0; i < tags.size(); ++i) {
+        TagQueue& queue = *drain_queues_[i];
         if (queue.pages.empty() || remaining == 0) {
           continue;
         }
@@ -162,11 +186,11 @@ void RuntimeLayer::MaybeDrain(std::vector<Op>& out) {
         }
         --buffered_pages_;
         any = true;
-        if (!as_->bitmap()->Test(page)) {
+        if (!bitmap.Test(page)) {
           ++stats_.buffer_stale_dropped;  // already reclaimed some other way
           continue;
         }
-        EmitRelease(page, priority, tag, out);
+        EmitRelease(page, priority, tags[i], out);
         ++stats_.releases_issued_from_buffer;
         --remaining;
       }

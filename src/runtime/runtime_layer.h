@@ -125,6 +125,10 @@ class RuntimeLayer {
 
   // Tag filter: last release address seen per tag (kNoVPage = none).
   std::unordered_map<int32_t, VPage> last_release_;
+  // Cache of the map node the filter hit last (hint streams repeat one tag for
+  // whole loop nests). Element pointers survive inserts; FlushTag nulls it.
+  int32_t cached_tag_ = -1;
+  VPage* cached_last_ = nullptr;
 
   // Buffered policy state: per-tag release queues, grouped by priority.
   struct TagQueue {
@@ -135,6 +139,8 @@ class RuntimeLayer {
   // Priority list: priority -> tags at that priority (round-robin cursor).
   std::map<int32_t, std::vector<int32_t>> priority_list_;
   size_t buffered_pages_ = 0;
+  // Per-drain scratch: each tag's queue resolved once per batch, not per page.
+  std::vector<TagQueue*> drain_queues_;
 
   // Reactive mode: eviction candidates by priority, oldest first.
   std::map<int32_t, std::deque<VPage>> reactive_candidates_;

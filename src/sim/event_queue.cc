@@ -1,76 +1,63 @@
 #include "src/sim/event_queue.h"
 
-#include <algorithm>
-#include <cassert>
-#include <utility>
-
 namespace tmh {
 
-EventId EventQueue::ScheduleAt(SimTime when, Action action) {
-  assert(when >= now_ && "cannot schedule events in the simulated past");
-  if (when < now_) {
-    when = now_;
-  }
-  const uint64_t seq = next_seq_++;
-  const EventId id = seq;  // seq numbers are unique, reuse them as ids
-  heap_.push(Entry{when, seq, id, std::move(action)});
-  ++live_count_;
-  return id;
-}
+namespace {
+
+constexpr uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+constexpr uint32_t GenOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+
+}  // namespace
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_seq_) {
+  if (id == kInvalidEventId) {
     return false;
   }
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end() && *it == id) {
-    return false;  // already cancelled
+  const uint32_t slot = SlotOf(id);
+  if (slot >= next_slot_) {
+    return false;  // never existed
   }
-  // We cannot tell a consumed id from a live one without a side table; keep a
-  // conservative check: ids are only handed out for scheduled events, and
-  // executed events are recorded by erasing them from `cancelled_` lazily in
-  // SkipCancelled(). Double-cancel of an executed event is caught there.
-  cancelled_.insert(it, id);
-  if (live_count_ > 0) {
-    --live_count_;
+  Slot& rec = SlotAt(slot);
+  if (rec.gen != GenOf(id)) {
+    return false;  // already ran or already cancelled
   }
-  return true;
-}
-
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it == cancelled_.end() || *it != top.id) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::RunOne() {
-  SkipCancelled();
-  if (heap_.empty()) {
-    return false;
-  }
-  // priority_queue::top() is const; the entry must be moved out before the
-  // action runs because the action may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  rec.action.Reset();  // free captures now, not at slot reuse
+  ++rec.gen;
+  rec.next_free = free_head_;
+  free_head_ = slot;
   --live_count_;
-  assert(entry.when >= now_);
-  now_ = entry.when;
-  ++executed_;
-  entry.action();
   return true;
+}
+
+bool EventQueue::PeekEarliest(SimTime* when) const {
+  uint32_t levels = level_mask_;
+  while (levels != 0) {
+    const int level = __builtin_ctz(levels);
+    const int slot = FirstSlot(level);
+    Bucket& b = BucketAt(level, slot);
+    if (!CompactBucket(level, slot, b)) {
+      levels = level_mask_;
+      continue;
+    }
+    if (level == 0) {
+      *when = static_cast<SimTime>(b.items[b.head].key);
+      return true;
+    }
+    uint64_t min_key = b.items[0].key;
+    for (const Item& it : b.items) {
+      min_key = it.key < min_key ? it.key : min_key;
+    }
+    *when = static_cast<SimTime>(min_key);
+    return true;
+  }
+  return false;
 }
 
 uint64_t EventQueue::RunUntil(SimTime deadline) {
   uint64_t count = 0;
   while (true) {
-    SkipCancelled();
-    if (heap_.empty() || heap_.top().when > deadline) {
+    SimTime next;
+    if (!PeekEarliest(&next) || next > deadline) {
       break;
     }
     RunOne();
@@ -84,20 +71,12 @@ uint64_t EventQueue::RunUntil(SimTime deadline) {
   return count;
 }
 
-uint64_t EventQueue::RunToCompletion(uint64_t max_events) {
-  uint64_t count = 0;
-  while (count < max_events && RunOne()) {
-    ++count;
-  }
-  return count;
-}
-
 SimTime EventQueue::NextEventTime(SimTime fallback) const {
-  SkipCancelled();
-  if (heap_.empty()) {
+  SimTime next;
+  if (!PeekEarliest(&next)) {
     return fallback;
   }
-  return heap_.top().when;
+  return next;
 }
 
 }  // namespace tmh

@@ -1,31 +1,65 @@
 // Deterministic discrete-event queue.
 //
-// The queue orders events by (time, sequence number) so that events scheduled
+// The queue orders events by (time, schedule order) so that events scheduled
 // for the same instant run in FIFO order. Every stateful component of the
 // simulated machine (CPUs, disks, daemons) advances exclusively by posting
 // events here; there is no wall-clock anywhere in the simulation.
+//
+// Hot-path design (the simulator's own throughput is bounded here):
+//
+//   * Actions are InlineCallable — no heap allocation for the small lambdas
+//     the kernel and disks schedule by the tens of millions — and are
+//     emplaced directly into their storage slot by the templated
+//     ScheduleAt(), so scheduling never copies a capture buffer.
+//
+//   * Events live in a 64-ary radix timer wheel. Because ScheduleAt() only
+//     accepts times >= Now(), the queue is *monotone*, which a comparison
+//     heap cannot exploit but a radix structure can: an event is filed by the
+//     highest base-64 digit in which its time differs from the wheel's
+//     reference time (`cur_`), at the slot given by that digit. Buckets are
+//     plain vectors appended in schedule order, so equal-time FIFO falls out
+//     structurally — no sequence numbers, no comparisons. Push is O(1); pop
+//     re-files the lowest nonempty bucket into lower levels when the
+//     reference time advances, which touches each event at most
+//     ceil(64/6) times over its whole lifetime (2-3 times in practice).
+//     All bucket traffic is sequential, unlike a binary heap's random walks.
+//
+//   * Handles are generation-stamped slot references, making Cancel() O(1):
+//     it bumps the slot's generation, and the now-stale wheel item is dropped
+//     when it next surfaces.
+//
+//   * Wheel items are 16 trivially-copyable bytes; the action body and the
+//     slot's generation stamp live together in a chunked slot table whose
+//     chunks never move. Cascades therefore shuffle raw PODs (memmove), each
+//     action is constructed exactly once (in its slot at schedule) and
+//     invoked in place, and the liveness check, generation bump, and
+//     dispatch all touch the same cache line.
 
 #ifndef TMH_SRC_SIM_EVENT_QUEUE_H_
 #define TMH_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/sim/inline_callable.h"
 #include "src/sim/time.h"
 
 namespace tmh {
 
-// Handle used to cancel a pending event. Cancellation is lazy: the event stays
-// in the heap but is skipped when popped.
+// Handle used to cancel a pending event: a slot index in the low 32 bits and
+// that slot's generation in the high 32 bits. Generations start at 1, so no
+// valid handle equals kInvalidEventId.
 using EventId = uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineCallable;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -35,16 +69,21 @@ class EventQueue {
   [[nodiscard]] SimTime Now() const { return now_; }
 
   // Schedules `action` to run at absolute time `when` (>= Now()). Returns a
-  // handle usable with Cancel().
-  EventId ScheduleAt(SimTime when, Action action);
+  // handle usable with Cancel(). Accepts any void() callable (constructed
+  // in place in its slot) or a prebuilt Action (moved in).
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleAt(SimTime when, F&& action);
 
   // Schedules `action` to run `delay` microseconds from now.
-  EventId ScheduleAfter(SimDuration delay, Action action) {
-    return ScheduleAt(now_ + delay, std::move(action));
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleAfter(SimDuration delay, F&& action) {
+    return ScheduleAt(now_ + delay, std::forward<F>(action));
   }
 
-  // Cancels a pending event. Returns false if the event already ran, was
-  // already cancelled, or never existed.
+  // Cancels a pending event in O(1). Returns false if the event already ran,
+  // was already cancelled, or never existed.
   bool Cancel(EventId id);
 
   // Runs the next pending event, advancing Now(). Returns false if empty.
@@ -66,34 +105,319 @@ class EventQueue {
   [[nodiscard]] uint64_t ExecutedCount() const { return executed_; }
 
  private:
-  struct Entry {
-    SimTime when;
-    uint64_t seq;
-    EventId id;
-    Action action;
+  // Base-64 digits: 6 bits per level, 11 levels cover the full 63-bit time
+  // range. In a steady-state simulation only the bottom 2-3 levels are hot.
+  static constexpr int kDigitBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kDigitBits;
+  static constexpr int kLevels = 11;
+
+  // Wheel entry: 16 trivially-copyable bytes, so cascades and bucket growth
+  // are memmoves. The action itself lives in the slot table, where it never
+  // moves while the event is pending.
+  struct Item {
+    uint64_t key;   // absolute time
+    uint32_t slot;  // handle slot (action body + cancellation check)
+    uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+  static_assert(std::is_trivially_copyable_v<Item>);
+
+  // One pending event's out-of-wheel state. gen counts up on every retire
+  // (run or cancel), invalidating outstanding handles and stale wheel items.
+  // Free slots form an intrusive LIFO through next_free, so recycling a slot
+  // touches only this (already hot) cache line: with the 24-byte action
+  // buffer the whole record is exactly 48 bytes.
+  struct Slot {
+    Action action;
+    uint32_t gen = 1;
+    uint32_t next_free = kNoFreeSlot;
   };
 
-  // Pops cancelled entries off the heap top.
-  void SkipCancelled() const;
+  struct Bucket {
+    std::vector<Item> items;
+    // Pop cursor; nonzero only in level-0 buckets, which hold a single exact
+    // time and drain FIFO without erasing from the front.
+    size_t head = 0;
+  };
+
+  [[nodiscard]] bool IsLive(const Item& it) const { return SlotAt(it.slot).gen == it.gen; }
+
+  // Files `key` relative to `cur_`: level = highest differing base-64 digit,
+  // slot = that digit of `key`.
+  void Locate(uint64_t key, int* level, int* slot) const;
+
+  [[nodiscard]] Bucket& BucketAt(int level, int slot) const {
+    return buckets_[level][slot];
+  }
+
+  // Lowest occupied slot of `level`.
+  [[nodiscard]] int FirstSlot(int level) const {
+    return __builtin_ctzll(slot_masks_[level]);
+  }
+
+  void Append(int level, int slot, Item item) const;
+  void ClearBucket(int level, int slot) const;
+
+  // Drops cancelled items from the front (level 0) or anywhere (level >= 1)
+  // of `b`; returns false if the bucket drained and was cleared.
+  bool CompactBucket(int level, int slot, Bucket& b) const;
+
+  // Makes the earliest live event the head of a level-0 bucket, advancing
+  // `cur_` and cascading buckets as needed. Returns that bucket, or nullptr
+  // if the queue is empty. Only called from mutating run paths: advancing
+  // `cur_` past Now() would break the monotonicity contract for later
+  // ScheduleAt() calls, so const peeks use PeekEarliest() instead.
+  Bucket* AdvanceToHead();
+
+  // Earliest live event time without advancing `cur_` (exact; skips and
+  // drops cancelled items). Returns false if the queue is empty.
+  bool PeekEarliest(SimTime* when) const;
+
+  // Allocates a handle slot (recycled or fresh) for one pending event.
+  uint32_t AllocSlot();
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;
   size_t live_count_ = 0;
-  // Entries are kept in a mutable heap so const queries can drop cancelled
-  // heads without changing observable state.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids of cancelled-but-not-yet-popped events, kept sorted for O(log n) find.
-  mutable std::vector<EventId> cancelled_;
+
+  // Wheel reference time: cur_ <= every pending key, and cur_ <= now_ at
+  // every public API boundary. Mutable (with the buckets and masks) so const
+  // peeks can drop cancelled items without changing observable state.
+  mutable uint64_t cur_ = 0;
+  mutable Bucket buckets_[kLevels][kSlotsPerLevel];
+  mutable uint64_t slot_masks_[kLevels] = {};  // nonempty-slot bitmap per level
+  mutable uint32_t level_mask_ = 0;            // nonempty-level bitmap
+
+  // Slot table: fixed-size chunks that are never reallocated, so a Slot&
+  // stays valid across ScheduleAt() calls made from inside a running action
+  // (which lets RunOne() invoke in place instead of moving the action out).
+  static constexpr uint32_t kSlotChunkShift = 9;
+  static constexpr uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+  [[nodiscard]] Slot& SlotAt(uint32_t slot) {
+    return slot_chunks_[slot >> kSlotChunkShift][slot & (kSlotChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& SlotAt(uint32_t slot) const {
+    return slot_chunks_[slot >> kSlotChunkShift][slot & (kSlotChunkSize - 1)];
+  }
+
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  uint32_t next_slot_ = 0;  // slots ever allocated; bounds valid handles
+  uint32_t slot_cap_ = 0;   // next_slot_ == slot_cap_ => grow a chunk
+  uint32_t free_head_ = kNoFreeSlot;  // intrusive free-slot LIFO
 };
+
+// ---------------------------------------------------------------------------
+// Hot path, defined inline: ScheduleAt/RunOne and their helpers sit inside
+// the simulator's innermost loops, and keeping them visible to callers is
+// worth several ns/event. Cancel, the peeks, and RunUntil stay out of line
+// in event_queue.cc.
+
+inline void EventQueue::Locate(uint64_t key, int* level, int* slot) const {
+  assert(key >= cur_);
+  const uint64_t diff = key ^ cur_;
+  if (diff == 0) {
+    *level = 0;
+    *slot = static_cast<int>(key & (kSlotsPerLevel - 1));
+    return;
+  }
+  const int l = (63 - __builtin_clzll(diff)) / kDigitBits;
+  *level = l;
+  *slot = static_cast<int>((key >> (l * kDigitBits)) & (kSlotsPerLevel - 1));
+}
+
+inline void EventQueue::Append(int level, int slot, Item item) const {
+  BucketAt(level, slot).items.push_back(item);
+  slot_masks_[level] |= 1ULL << slot;
+  level_mask_ |= 1U << level;
+}
+
+inline void EventQueue::ClearBucket(int level, int slot) const {
+  Bucket& b = BucketAt(level, slot);
+  b.items.clear();
+  b.head = 0;
+  slot_masks_[level] &= ~(1ULL << slot);
+  if (slot_masks_[level] == 0) {
+    level_mask_ &= ~(1U << level);
+  }
+}
+
+inline bool EventQueue::CompactBucket(int level, int slot, Bucket& b) const {
+  if (level == 0) {
+    // Level-0 buckets drain FIFO through `head`; drop stale items there.
+    while (b.head < b.items.size() && !IsLive(b.items[b.head])) {
+      ++b.head;
+    }
+    if (b.head == b.items.size()) {
+      ClearBucket(level, slot);
+      return false;
+    }
+    return true;
+  }
+  // Higher-level buckets are compacted in place (stable, so schedule order —
+  // and with it equal-time FIFO — survives).
+  size_t keep = 0;
+  for (size_t i = 0; i < b.items.size(); ++i) {
+    if (IsLive(b.items[i])) {
+      if (keep != i) {
+        b.items[keep] = b.items[i];
+      }
+      ++keep;
+    }
+  }
+  if (keep == 0) {
+    ClearBucket(level, slot);
+    return false;
+  }
+  b.items.resize(keep);
+  return true;
+}
+
+inline EventQueue::Bucket* EventQueue::AdvanceToHead() {
+  while (level_mask_ != 0) {
+    const int level = __builtin_ctz(level_mask_);
+    const int slot = FirstSlot(level);
+    Bucket& b = BucketAt(level, slot);
+    if (level == 0) {
+      if (!CompactBucket(level, slot, b)) {
+        continue;
+      }
+      return &b;
+    }
+    // Cascade: advance the reference time to this bucket's earliest key and
+    // re-file its items, which all land in levels below `level`. The loop over
+    // items is stable, so equal-time items keep their schedule order.
+    //
+    // Stale (cancelled) items cascade along with live ones: filtering them
+    // here would cost a random slot-table read per item per cascade, whereas
+    // letting them fall to level 0 drops them with the same check level-0
+    // dispatch does anyway. A stale minimum only pulls cur_ lower than
+    // strictly needed, which the invariant (cur_ <= pending keys) permits.
+    uint64_t min_key = b.items[0].key;
+    for (const Item& it : b.items) {
+      min_key = it.key < min_key ? it.key : min_key;
+    }
+    cur_ = min_key;
+    for (const Item& it : b.items) {
+      int l, s;
+      Locate(it.key, &l, &s);
+      assert(l < level);
+      if (l == 0) {
+        // This item dispatches within the next ~64 events; start pulling its
+        // slot line (generation + action) toward the cache now.
+        __builtin_prefetch(&SlotAt(it.slot));
+      }
+      Append(l, s, it);
+    }
+    ClearBucket(level, slot);
+  }
+  return nullptr;
+}
+
+inline uint32_t EventQueue::AllocSlot() {
+  const uint32_t slot = free_head_;
+  if (slot != kNoFreeSlot) {
+    free_head_ = SlotAt(slot).next_free;
+    return slot;
+  }
+  const uint32_t fresh = next_slot_++;
+  if (fresh == slot_cap_) {
+    slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    slot_cap_ += kSlotChunkSize;
+  }
+  return fresh;
+}
+
+template <typename F, typename>
+EventId EventQueue::ScheduleAt(SimTime when, F&& action) {
+  assert(when >= now_ && "cannot schedule events in the simulated past");
+  if (when < now_) {
+    when = now_;
+  }
+  const uint32_t handle_slot = AllocSlot();
+  Slot& rec = SlotAt(handle_slot);
+  if constexpr (std::is_same_v<std::decay_t<F>, Action>) {
+    rec.action = std::forward<F>(action);
+  } else {
+    rec.action.Emplace(std::forward<F>(action));
+  }
+  const uint32_t gen = rec.gen;
+  int level, slot;
+  Locate(static_cast<uint64_t>(when), &level, &slot);
+  Append(level, slot, Item{static_cast<uint64_t>(when), handle_slot, gen});
+  ++live_count_;
+  return (static_cast<EventId>(gen) << 32) | handle_slot;
+}
+
+inline bool EventQueue::RunOne() {
+  Bucket* b = AdvanceToHead();
+  if (b == nullptr) {
+    return false;
+  }
+  const Item item = b->items[b->head];
+  ++b->head;
+  if (b->head < b->items.size()) {
+    // Hide the slot-table miss of the next dispatch behind this one's action.
+    __builtin_prefetch(&SlotAt(b->items[b->head].slot));
+  }
+  Slot& rec = SlotAt(item.slot);
+  // Bump the generation before dispatch so Cancel() on the running event's
+  // own handle reports false, but keep the slot out of the free list until
+  // the action returns: events it schedules must not reuse (and overwrite)
+  // the slot we are executing from. Slot chunks never move, so `rec` stays
+  // valid across those nested ScheduleAt() calls and the action can run in
+  // place — no move of the action body on the dispatch path.
+  ++rec.gen;
+  --live_count_;
+  assert(static_cast<SimTime>(item.key) >= now_);
+  now_ = static_cast<SimTime>(item.key);
+  ++executed_;
+  rec.action();
+  rec.action.Reset();
+  rec.next_free = free_head_;
+  free_head_ = item.slot;
+  return true;
+}
+
+inline uint64_t EventQueue::RunToCompletion(uint64_t max_events) {
+  // Drains level-0 buckets whole instead of calling RunOne() per event: a
+  // level-0 bucket holds a single exact time, so once AdvanceToHead() lands
+  // on one, every item in it (including same-time items the running actions
+  // append behind `head`) dispatches back-to-back without re-scanning the
+  // wheel masks. Items are re-indexed each pass because an action may grow
+  // the bucket's vector; the bucket object itself never moves.
+  uint64_t count = 0;
+  while (count < max_events) {
+    Bucket* b = AdvanceToHead();
+    if (b == nullptr) {
+      break;
+    }
+    assert(static_cast<SimTime>(b->items[b->head].key) >= now_);
+    now_ = static_cast<SimTime>(b->items[b->head].key);
+    while (b->head < b->items.size() && count < max_events) {
+      const Item item = b->items[b->head];
+      ++b->head;
+      if (b->head < b->items.size()) {
+        __builtin_prefetch(&SlotAt(b->items[b->head].slot));
+      }
+      Slot& rec = SlotAt(item.slot);
+      if (rec.gen != item.gen) {
+        continue;  // cancelled; drop the stale item
+      }
+      ++rec.gen;
+      --live_count_;
+      ++executed_;
+      rec.action();
+      rec.action.Reset();
+      rec.next_free = free_head_;
+      free_head_ = item.slot;
+      ++count;
+    }
+    // A fully drained bucket is cleared by the next AdvanceToHead() pass.
+  }
+  return count;
+}
 
 }  // namespace tmh
 

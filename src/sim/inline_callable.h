@@ -1,0 +1,132 @@
+// Small-buffer-optimized move-only callable for the event queue's hot path.
+//
+// `std::function` heap-allocates for captures beyond a couple of pointers and
+// pays a double indirection per call; the simulator schedules tens of millions
+// of small lambdas (a `this` pointer plus a word or two), so those allocations
+// dominate the substrate's own cost.
+//
+// InlineCallable is deliberately more restrictive than std::function so that
+// *moving* one is a raw byte copy — no indirect call, and `vector` growth over
+// thousands of pending actions stays a tight loop:
+//
+//   * The inline path is taken only for trivially-copyable callables of at
+//     most kInlineBytes (every lambda the kernel and daemons schedule:
+//     `this` plus a few scalar words). Trivial copyability is what makes the
+//     memcpy move legal.
+//   * Everything else (e.g. disk-completion lambdas that own an IoRequest
+//     with a std::function inside) goes to the heap; the buffer then holds
+//     just the owning pointer, which is itself trivially copyable.
+//
+// Destruction is a branch on a null pointer in the inline case — no indirect
+// call on the hot path.
+
+#ifndef TMH_SRC_SIM_INLINE_CALLABLE_H_
+#define TMH_SRC_SIM_INLINE_CALLABLE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tmh {
+
+class InlineCallable {
+ public:
+  // Large enough for a `this` pointer plus two captured words, which covers
+  // every periodic-daemon and paging lambda in the simulator.
+  static constexpr size_t kInlineBytes = 24;
+
+  InlineCallable() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallable> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallable(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  // Replaces the stored callable, constructing the new one in place (no
+  // temporary InlineCallable, no buffer copy on the scheduling fast path).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallable> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void Emplace(F&& f) {
+    if (dtor_ != nullptr) {
+      dtor_(buf_);
+      dtor_ = nullptr;
+    }
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* buf) { (*Stored<D>(buf))(); };
+      // dtor_ stays null: trivially-copyable implies trivially-destructible.
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* buf) { (**Stored<D*>(buf))(); };
+      dtor_ = [](void* buf) noexcept { delete *Stored<D*>(buf); };
+    }
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept { TakeRaw(other); }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      TakeRaw(other);
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() {
+    if (dtor_ != nullptr) {
+      dtor_(buf_);
+    }
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  // Destroys the stored callable (no-op if empty).
+  void Reset() {
+    if (dtor_ != nullptr) {
+      dtor_(buf_);
+    }
+    invoke_ = nullptr;
+    dtor_ = nullptr;
+  }
+
+ private:
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+           std::is_trivially_copyable_v<D>;
+  }
+
+  template <typename D>
+  static D* Stored(void* buf) {
+    return std::launder(reinterpret_cast<D*>(buf));
+  }
+
+  // Steals `other`'s state with a raw copy. Legal because the buffer only
+  // ever holds trivially-copyable bytes (the inline callable, or the heap
+  // pointer), and ownership transfers by nulling the source's pointers.
+  void TakeRaw(InlineCallable& other) noexcept {
+    invoke_ = other.invoke_;
+    dtor_ = other.dtor_;
+    std::memcpy(buf_, other.buf_, kInlineBytes);
+    other.invoke_ = nullptr;
+    other.dtor_ = nullptr;
+  }
+
+  void (*invoke_)(void* buf) = nullptr;
+  void (*dtor_)(void* buf) noexcept = nullptr;
+  alignas(void*) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_INLINE_CALLABLE_H_

@@ -5,18 +5,17 @@
 namespace tmh {
 
 FreeList::FreeList(int64_t num_frames)
-    : prev_(static_cast<size_t>(num_frames), kNoFrame),
-      next_(static_cast<size_t>(num_frames), kNoFrame),
-      linked_(static_cast<size_t>(num_frames), false) {}
+    : prev_(static_cast<size_t>(num_frames), kUnlinked),
+      next_(static_cast<size_t>(num_frames), kNoFrame) {}
 
 void FreeList::PushHead(FrameId id) {
-  assert(!linked_[static_cast<size_t>(id)] && "frame already on free list");
+  assert(!Contains(id) && "frame already on free list");
   Link(id, kNoFrame, head_);
   ++head_pushes_;
 }
 
 void FreeList::PushTail(FrameId id) {
-  assert(!linked_[static_cast<size_t>(id)] && "frame already on free list");
+  assert(!Contains(id) && "frame already on free list");
   Link(id, tail_, kNoFrame);
   ++tail_pushes_;
 }
@@ -31,14 +30,9 @@ FrameId FreeList::PopHead() {
 }
 
 void FreeList::Remove(FrameId id) {
-  assert(linked_[static_cast<size_t>(id)] && "rescue of a frame not on the free list");
+  assert(Contains(id) && "rescue of a frame not on the free list");
   Unlink(id);
   ++rescues_;
-}
-
-bool FreeList::Contains(FrameId id) const {
-  return id >= 0 && id < static_cast<FrameId>(linked_.size()) &&
-         linked_[static_cast<size_t>(id)];
 }
 
 void FreeList::Link(FrameId id, FrameId prev, FrameId next) {
@@ -54,7 +48,6 @@ void FreeList::Link(FrameId id, FrameId prev, FrameId next) {
   } else {
     tail_ = id;
   }
-  linked_[static_cast<size_t>(id)] = true;
   ++size_;
 }
 
@@ -71,9 +64,8 @@ void FreeList::Unlink(FrameId id) {
   } else {
     tail_ = prev;
   }
-  prev_[static_cast<size_t>(id)] = kNoFrame;
+  prev_[static_cast<size_t>(id)] = kUnlinked;
   next_[static_cast<size_t>(id)] = kNoFrame;
-  linked_[static_cast<size_t>(id)] = false;
   --size_;
 }
 

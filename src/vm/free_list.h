@@ -36,7 +36,14 @@ class FreeList {
   // Removes `id` from anywhere in the list (rescue path). `id` must be linked.
   void Remove(FrameId id);
 
-  [[nodiscard]] bool Contains(FrameId id) const;
+  // O(1): one load and compare against the unlinked sentinel. This is the
+  // releaser/rescue fast path — the kernel probes it on every fault for a
+  // page whose frame may still be on the free list (Section 3.1.2).
+  [[nodiscard]] bool Contains(FrameId id) const {
+    return id >= 0 && id < static_cast<FrameId>(prev_.size()) &&
+           prev_[static_cast<size_t>(id)] != kUnlinked;
+  }
+
   [[nodiscard]] int64_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
@@ -46,16 +53,19 @@ class FreeList {
   [[nodiscard]] uint64_t total_rescues() const { return rescues_; }
 
  private:
+  // Sentinel stored in prev_ for frames not on the list. Distinct from
+  // kNoFrame, which marks the head's (valid) lack of a predecessor.
+  static constexpr FrameId kUnlinked = -2;
+
   void Link(FrameId id, FrameId prev, FrameId next);
   void Unlink(FrameId id);
 
-  // head_/tail_ plus per-frame prev/next; kNoFrame terminates. A frame not in
-  // the list has linked_[id] == false.
+  // head_/tail_ plus per-frame prev/next; kNoFrame terminates. A frame not on
+  // the list has prev_[id] == kUnlinked (no separate membership bitmap).
   FrameId head_ = kNoFrame;
   FrameId tail_ = kNoFrame;
   std::vector<FrameId> prev_;
   std::vector<FrameId> next_;
-  std::vector<bool> linked_;
   int64_t size_ = 0;
 
   uint64_t head_pushes_ = 0;

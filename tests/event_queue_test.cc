@@ -76,6 +76,68 @@ TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
   EXPECT_FALSE(q.Cancel(999));
 }
 
+TEST(EventQueueTest, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(10, [] {});
+  q.RunToCompletion();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelOwnEventDuringDispatchReturnsFalse) {
+  // By the time a handler runs, its event has been retired (the generation
+  // stamp advances before the callable is invoked), so self-cancel is a no-op.
+  EventQueue q;
+  EventId id = kInvalidEventId;
+  bool self_cancel_result = true;
+  id = q.ScheduleAt(10, [&] { self_cancel_result = q.Cancel(id); });
+  q.RunToCompletion();
+  EXPECT_FALSE(self_cancel_result);
+  EXPECT_EQ(q.ExecutedCount(), 1u);
+}
+
+TEST(EventQueueTest, CancelPendingEventDuringDispatch) {
+  // A handler cancelling a later event at the same timestamp must win: the
+  // victim is already in the dispatch bucket but has not run yet.
+  EventQueue q;
+  bool victim_ran = false;
+  EventId victim = kInvalidEventId;
+  bool cancel_result = false;
+  q.ScheduleAt(10, [&] { cancel_result = q.Cancel(victim); });
+  victim = q.ScheduleAt(10, [&] { victim_ran = true; });
+  q.RunToCompletion();
+  EXPECT_TRUE(cancel_result);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(q.ExecutedCount(), 1u);
+}
+
+TEST(EventQueueTest, SlotReuseInvalidatesOldIds) {
+  // After an event runs, its slot is recycled for new events; the stale
+  // EventId must not cancel the slot's new occupant.
+  EventQueue q;
+  const EventId old_id = q.ScheduleAt(5, [] {});
+  q.RunToCompletion();
+  bool ran = false;
+  const EventId new_id = q.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(old_id));  // stale generation
+  q.RunToCompletion();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(q.Cancel(new_id));  // already ran
+}
+
+TEST(EventQueueTest, FifoPreservedAcrossCancelsAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.ScheduleAt(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 10; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  q.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
 TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EventQueue q;
   std::vector<int> order;

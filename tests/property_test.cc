@@ -4,13 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/compiler/compile.h"
 #include "src/core/experiment.h"
 #include "src/runtime/interpreter.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/workloads/workloads.h"
 #include "tests/testutil.h"
@@ -383,6 +386,96 @@ TEST_P(DataIntegrityTest, EveryDirtyEvictionIsWrittenBack) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DataIntegrityTest, ::testing::Range(0, 6));
+
+// --- Event queue: ordering and determinism under random churn -------------------
+
+// The executed order of randomly-timed, randomly-cancelled events must equal a
+// stable sort of the survivors by timestamp (stable = FIFO within a tick).
+class EventQueueOrderingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueOrderingTest, MatchesStableSortReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+  EventQueue q;
+  struct Scheduled {
+    SimTime when;
+    int seq;
+    EventId id;
+    bool cancelled = false;
+  };
+  std::vector<Scheduled> events;
+  std::vector<int> executed;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    // Narrow time range → many collisions → the FIFO path is exercised hard.
+    const SimTime when = static_cast<SimTime>(rng.NextBelow(64));
+    const EventId id = q.ScheduleAt(when, [&executed, i] { executed.push_back(i); });
+    events.push_back({when, i, id});
+  }
+  for (Scheduled& e : events) {
+    if (rng.NextBelow(3) == 0) {
+      EXPECT_TRUE(q.Cancel(e.id));
+      e.cancelled = true;
+    }
+  }
+  q.RunToCompletion();
+
+  std::vector<Scheduled> survivors;
+  for (const Scheduled& e : events) {
+    if (!e.cancelled) {
+      survivors.push_back(e);
+    }
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const Scheduled& a, const Scheduled& b) { return a.when < b.when; });
+  ASSERT_EQ(executed.size(), survivors.size());
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(executed[i], survivors[i].seq) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueOrderingTest, ::testing::Range(0, 8));
+
+// Handlers that schedule and cancel more work mid-run must yield the identical
+// execution trace on a re-run with the same seed (the simulator's determinism
+// rests on this).
+class EventQueueChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueChurnTest, DeterministicUnderScheduleCancelChurn) {
+  auto run = [seed = GetParam()] {
+    Rng rng(static_cast<uint64_t>(seed) * 104729 + 5);
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> trace;
+    std::vector<EventId> pending;
+    int next_tag = 0;
+    std::function<void(int)> handler = [&](int tag) {
+      trace.emplace_back(q.Now(), tag);
+      if (trace.size() > 2000) {
+        return;  // bound the run
+      }
+      const uint64_t roll = rng.NextBelow(10);
+      if (roll < 6) {
+        const SimTime delta = static_cast<SimTime>(rng.NextBelow(20));
+        const int t = ++next_tag;
+        pending.push_back(q.ScheduleAfter(delta, [&handler, t] { handler(t); }));
+      }
+      if (roll >= 4 && !pending.empty()) {
+        const size_t victim = rng.NextBelow(pending.size());
+        q.Cancel(pending[victim]);  // may be stale: Cancel must cope either way
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(victim));
+      }
+    };
+    for (int i = 0; i < 50; ++i) {
+      const int t = ++next_tag;
+      pending.push_back(
+          q.ScheduleAt(static_cast<SimTime>(rng.NextBelow(30)), [&handler, t] { handler(t); }));
+    }
+    q.RunToCompletion(10000);
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueChurnTest, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace tmh

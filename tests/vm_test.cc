@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "src/sim/rng.h"
 #include "src/vm/frame_table.h"
 #include "src/vm/free_list.h"
@@ -231,6 +234,70 @@ TEST(ResidencyBitmapTest, HeaderWordsRoundTrip) {
   bitmap.SetHeader(42, 4096);
   EXPECT_EQ(bitmap.current_usage(), 42);
   EXPECT_EQ(bitmap.upper_limit(), 4096);
+}
+
+TEST(ResidencyBitmapTest, SetRangeMatchesBitwiseSets) {
+  // Exercise every head/tail alignment class against the one-bit reference.
+  for (const auto& [first, count] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 64}, {0, 130}, {3, 5}, {60, 8}, {63, 1}, {64, 64}, {5, 200}, {190, 9}}) {
+    ResidencyBitmap wordwise(199);
+    ResidencyBitmap reference(199);
+    wordwise.SetRange(first, count);
+    for (int64_t p = first; p < first + count; ++p) {
+      reference.Set(p);
+    }
+    for (VPage p = 0; p < 199; ++p) {
+      EXPECT_EQ(wordwise.Test(p), reference.Test(p)) << "range [" << first << ", +" << count
+                                                     << ") page " << p;
+    }
+    EXPECT_EQ(wordwise.PopCount(), count);
+  }
+}
+
+TEST(ResidencyBitmapTest, ClearRangeMatchesBitwiseClears) {
+  for (const auto& [first, count] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 64}, {0, 130}, {3, 5}, {60, 8}, {63, 1}, {64, 64}, {5, 200}, {190, 9}}) {
+    ResidencyBitmap wordwise(199);
+    ResidencyBitmap reference(199);
+    wordwise.SetAll();
+    reference.SetAll();
+    wordwise.ClearRange(first, count);
+    for (int64_t p = first; p < first + count; ++p) {
+      reference.Clear(p);
+    }
+    for (VPage p = 0; p < 199; ++p) {
+      EXPECT_EQ(wordwise.Test(p), reference.Test(p)) << "range [" << first << ", +" << count
+                                                     << ") page " << p;
+    }
+    EXPECT_EQ(wordwise.PopCount(), reference.PopCount());
+  }
+}
+
+TEST(ResidencyBitmapTest, FindFirstResidentScansWordWise) {
+  ResidencyBitmap bitmap(512);
+  EXPECT_EQ(bitmap.FindFirstResident(0, 512), kNoVPage);
+  bitmap.Set(200);
+  EXPECT_EQ(bitmap.FindFirstResident(0, 512), 200);
+  EXPECT_EQ(bitmap.FindFirstResident(0, 200), kNoVPage);   // excludes the hit
+  EXPECT_EQ(bitmap.FindFirstResident(200, 1), 200);
+  EXPECT_EQ(bitmap.FindFirstResident(201, 311), kNoVPage);  // starts past it
+  bitmap.Set(63);  // word-boundary bit, set after 200 but earlier in the scan
+  EXPECT_EQ(bitmap.FindFirstResident(0, 512), 63);
+  EXPECT_EQ(bitmap.FindFirstResident(64, 448), 200);
+}
+
+TEST(ResidencyBitmapTest, CountRangeMatchesMaskedPopCount) {
+  ResidencyBitmap bitmap(300);
+  for (VPage p : {0, 1, 63, 64, 65, 128, 250, 299}) {
+    bitmap.Set(p);
+  }
+  EXPECT_EQ(bitmap.CountRange(0, 300), 8);
+  EXPECT_EQ(bitmap.CountRange(0, 64), 3);    // 0, 1, 63
+  EXPECT_EQ(bitmap.CountRange(64, 2), 2);    // 64, 65
+  EXPECT_EQ(bitmap.CountRange(66, 62), 0);   // [66, 128): stops short of 128
+  EXPECT_EQ(bitmap.CountRange(66, 63), 1);   // [66, 129): includes 128
+  EXPECT_EQ(bitmap.CountRange(129, 120), 0);
+  EXPECT_EQ(bitmap.CountRange(299, 1), 1);
 }
 
 TEST(ResidencyBitmapTest, WordBoundaryBitsIndependent) {

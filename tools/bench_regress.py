@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate and compare BENCH_*.json documents emitted by bench/bench_json.
+
+Two modes:
+
+  bench_regress.py --validate FILE
+      Checks that FILE parses and matches the tmh-bench-v1 schema (used by the
+      bench-smoke CTest target). Exit 0 on success.
+
+  bench_regress.py BASELINE CANDIDATE [--threshold PCT]
+      Prints a per-benchmark comparison (ns/op and throughput ratios) and
+      exits 1 if any benchmark regressed by more than PCT percent (default 25,
+      deliberately loose: these are single-machine wall-clock numbers).
+
+Typical flow:
+
+  ./build/bench/bench_json /tmp/before.json     # on the baseline commit
+  ./build/bench/bench_json /tmp/after.json      # on the candidate
+  python3 tools/bench_regress.py /tmp/before.json /tmp/after.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "tmh-bench-v1"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    errors = validate(doc)
+    if errors:
+        raise SystemExit(f"{path}: " + "; ".join(errors))
+    return doc
+
+
+def validate(doc):
+    errors = []
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        errors.append("benchmarks must be a non-empty list")
+        return errors
+    for b in benches:
+        name = b.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("benchmark missing name")
+            continue
+        # Micro-kernels report ns/op + items/s; end-to-end runs report
+        # sim-events/s. Either set of rate fields is acceptable.
+        has_micro = isinstance(b.get("ns_per_op"), (int, float)) and isinstance(
+            b.get("items_per_s"), (int, float)
+        )
+        has_e2e = isinstance(b.get("sim_events_per_s"), (int, float))
+        if not (has_micro or has_e2e):
+            errors.append(f"{name}: no ns_per_op/items_per_s or sim_events_per_s")
+        for key in ("ns_per_op", "items_per_s", "sim_events_per_s", "wall_s"):
+            v = b.get(key)
+            if v is not None and (not isinstance(v, (int, float)) or v <= 0):
+                errors.append(f"{name}: {key} must be a positive number, got {v!r}")
+    return errors
+
+
+def rate_of(bench):
+    """Higher-is-better throughput for any benchmark entry."""
+    if "sim_events_per_s" in bench:
+        return float(bench["sim_events_per_s"]), "sim-events/s"
+    return float(bench["items_per_s"]), "items/s"
+
+
+def compare(baseline, candidate, threshold_pct):
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    worst = 0.0
+    failed = []
+    print(f"{'benchmark':32} {'base':>14} {'cand':>14} {'ratio':>8}")
+    for cand in candidate["benchmarks"]:
+        name = cand["name"]
+        base = base_by_name.get(name)
+        if base is None:
+            print(f"{name:32} {'(new)':>14}")
+            continue
+        base_rate, unit = rate_of(base)
+        cand_rate, _ = rate_of(cand)
+        ratio = cand_rate / base_rate
+        flag = ""
+        regression_pct = (1.0 - ratio) * 100.0
+        if regression_pct > threshold_pct:
+            flag = "  << REGRESSION"
+            failed.append(name)
+        worst = max(worst, regression_pct)
+        print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")
+    for name in base_by_name:
+        if name not in {b["name"] for b in candidate["benchmarks"]}:
+            print(f"{name:32} {'(dropped from candidate)':>14}")
+    print(f"\nworst regression: {worst:.1f}% (threshold {threshold_pct:.0f}%)")
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="JSON file(s)")
+    parser.add_argument("--validate", action="store_true", help="schema-check only")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max tolerated throughput regression, percent")
+    args = parser.parse_args()
+
+    if args.validate:
+        for path in args.files:
+            load(path)
+            print(f"{path}: OK ({SCHEMA})")
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly two files: BASELINE CANDIDATE")
+    baseline = load(args.files[0])
+    candidate = load(args.files[1])
+    failed = compare(baseline, candidate, args.threshold)
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
