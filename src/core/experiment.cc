@@ -147,6 +147,11 @@ AppMetrics CollectApp(const LaunchedApp& app) {
 
 MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
   Kernel kernel(spec.machine);
+  if (spec.observe) {
+    // Before StartDaemons/LaunchApp so every thread and AS name reaches the
+    // trace's metadata records.
+    kernel.EnableObservability();
+  }
   kernel.StartDaemons();
 
   std::vector<LaunchedApp> apps;
@@ -197,6 +202,34 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
   result.swap_reads = kernel.swap().reads();
   result.swap_writes = kernel.swap().writes();
   result.sim_events = kernel.event_queue().ExecutedCount();
+  if (spec.observe) {
+    kernel.PublishMetrics();
+    // Per-app run-time layer and prefetch-pool aggregates, labeled by AS name.
+    for (const LaunchedApp& app : apps) {
+      if (app.runtime == nullptr) {
+        continue;
+      }
+      MetricsRegistry& reg = kernel.metrics();
+      const MetricLabels labels = {{"as", app.as->name()}};
+      const RuntimeStats& rs = app.runtime->stats();
+      reg.GetCounter("runtime.prefetch_hints", labels)->Set(rs.prefetch_hints);
+      reg.GetCounter("runtime.prefetch_enqueued", labels)->Set(rs.prefetch_enqueued);
+      reg.GetCounter("runtime.release_hints", labels)->Set(rs.release_hints);
+      reg.GetCounter("runtime.releases_issued_immediate", labels)
+          ->Set(rs.releases_issued_immediate);
+      reg.GetCounter("runtime.releases_buffered", labels)->Set(rs.releases_buffered);
+      reg.GetCounter("runtime.release_drains", labels)->Set(rs.release_drains);
+      reg.GetCounter("runtime.releases_issued_from_buffer", labels)
+          ->Set(rs.releases_issued_from_buffer);
+      reg.GetCounter("runtime.buffer_stale_dropped", labels)->Set(rs.buffer_stale_dropped);
+      const PrefetchPool& pool = app.runtime->pool();
+      reg.GetCounter("prefetch_pool.enqueued", labels)->Set(pool.enqueued());
+      reg.GetCounter("prefetch_pool.dropped_full", labels)->Set(pool.dropped_full());
+      reg.GetCounter("prefetch_pool.duplicates", labels)->Set(pool.duplicates());
+    }
+    result.metrics_text = kernel.metrics().TextDump();
+    result.event_log = std::move(kernel.event_log());
+  }
   return result;
 }
 
@@ -209,6 +242,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   multi.interactive = spec.interactive;
   multi.max_events = spec.max_events;
   multi.trace_period = spec.trace_period;
+  multi.observe = spec.observe;
   MultiExperimentResult inner = RunMultiExperiment(multi);
 
   ExperimentResult result;
@@ -216,6 +250,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   result.interactive = std::move(inner.interactive);
   result.kernel = inner.kernel;
   result.trace = std::move(inner.trace);
+  result.event_log = std::move(inner.event_log);
+  result.metrics_text = std::move(inner.metrics_text);
   result.swap_reads = inner.swap_reads;
   result.swap_writes = inner.swap_writes;
   result.sim_events = inner.sim_events;

@@ -64,6 +64,9 @@ struct ExperimentSpec {
   bool adaptive = false;
   // Hand-tuned oracle: compile with perfect knowledge (see CompileOptions).
   bool oracle = false;
+  // Structured observability: record typed kernel events and metrics
+  // histograms; retrieve them from ExperimentResult::event_log/metrics_text.
+  bool observe = false;
 };
 
 struct AppMetrics {
@@ -93,6 +96,8 @@ struct ExperimentResult {
   std::optional<InteractiveMetrics> interactive;
   KernelStats kernel;
   TraceRecorder trace;  // populated when spec.trace_period > 0
+  EventLog event_log;       // populated when spec.observe
+  std::string metrics_text; // MetricsRegistry::TextDump(), when spec.observe
   uint64_t swap_reads = 0;
   uint64_t swap_writes = 0;
   uint64_t free_list_rescues = 0;
@@ -123,6 +128,8 @@ struct MultiExperimentSpec {
   InteractiveConfig interactive;
   uint64_t max_events = 800'000'000;
   SimDuration trace_period = 0;
+  // Structured observability (see ExperimentSpec::observe).
+  bool observe = false;
 };
 
 struct MultiExperimentResult {
@@ -130,6 +137,8 @@ struct MultiExperimentResult {
   std::optional<InteractiveMetrics> interactive;
   KernelStats kernel;
   TraceRecorder trace;
+  EventLog event_log;       // populated when spec.observe
+  std::string metrics_text; // MetricsRegistry::TextDump(), when spec.observe
   uint64_t swap_reads = 0;
   uint64_t swap_writes = 0;
   uint64_t sim_events = 0;  // events the kernel's queue executed (substrate load)

@@ -36,6 +36,9 @@ AddressSpace* Kernel::CreateAddressSpace(const std::string& name, int64_t bytes)
                                            pages, next_swap_slot_);
   next_swap_slot_ += pages;
   address_spaces_.push_back(std::move(as));
+  if (observing_) {
+    event_log_.SetAddressSpaceName(address_spaces_.back()->id(), name);
+  }
   return address_spaces_.back().get();
 }
 
@@ -44,6 +47,9 @@ Thread* Kernel::Spawn(const std::string& name, AddressSpace* as, Program* progra
   auto thread = std::make_unique<Thread>(next_thread_id_++, name, as, program, is_daemon);
   Thread* t = thread.get();
   threads_.push_back(std::move(thread));
+  if (observing_) {
+    event_log_.SetThreadName(t->id(), name);
+  }
   t->started_at_ = Now();
   t->block_start = Now();  // measures initial CPU-queue wait
   run_queue_.push_back(t);
@@ -63,9 +69,79 @@ void Kernel::StartDaemons() {
 
 void Kernel::DaemonTickChain(SimDuration period) {
   queue_.ScheduleAfter(period, [this, period]() {
+    if (observing_) {
+      // Free-memory counter track for the Chrome trace, on the daemon beat.
+      event_log_.Record(Now(), KernelEventType::kFreePagesSample, 0, kNoAs, kNoVPage,
+                        free_list_.size());
+      gauge_free_pages_->Set(static_cast<double>(free_list_.size()));
+    }
     Signal(&paging_daemon_->wait_queue());
     DaemonTickChain(period);
   });
+}
+
+void Kernel::EnableObservability(size_t max_events) {
+  assert(threads_.empty() && address_spaces_.empty() &&
+         "enable observability before creating address spaces or threads");
+  observing_ = true;
+  event_log_.Enable(max_events);
+  event_log_.SetThreadName(0, "kernel");
+  // 1 us .. ~34 s exponential bounds cover every latency this machine produces.
+  const std::vector<double> bounds = ExponentialBounds(1000.0, 2.0, 26);
+  hist_fault_service_ = metrics_.GetHistogram("kernel.fault_service_ns", bounds);
+  hist_rescue_release_ =
+      metrics_.GetHistogram("kernel.rescue_distance_ns", bounds, {{"freed_by", "releaser"}});
+  hist_rescue_daemon_ =
+      metrics_.GetHistogram("kernel.rescue_distance_ns", bounds, {{"freed_by", "daemon"}});
+  gauge_free_pages_ = metrics_.GetGauge("kernel.free_pages");
+}
+
+void Kernel::PublishMetrics() {
+  if (!observing_) {
+    return;
+  }
+  const auto pub = [this](const char* name, uint64_t v) {
+    metrics_.GetCounter(name)->Set(v);
+  };
+  pub("kernel.daemon_activations", stats_.daemon_activations);
+  pub("kernel.daemon_pages_stolen", stats_.daemon_pages_stolen);
+  pub("kernel.daemon_invalidations", stats_.daemon_invalidations);
+  pub("kernel.releaser_batches", stats_.releaser_batches);
+  pub("kernel.releaser_pages_freed", stats_.releaser_pages_freed);
+  pub("kernel.releaser_skipped", stats_.releaser_skipped);
+  pub("kernel.rescued_daemon_freed", stats_.rescued_daemon_freed);
+  pub("kernel.rescued_release_freed", stats_.rescued_release_freed);
+  pub("kernel.allocations", stats_.allocations);
+  pub("kernel.zero_fills", stats_.zero_fills);
+  pub("kernel.writebacks", stats_.writebacks);
+  pub("kernel.hard_faults", stats_.hard_faults);
+  pub("kernel.soft_faults", stats_.soft_faults);
+  pub("kernel.prefetch_requests", stats_.prefetch_requests);
+  pub("kernel.prefetch_dropped", stats_.prefetch_dropped);
+  pub("kernel.prefetch_noop", stats_.prefetch_noop);
+  pub("kernel.prefetch_io", stats_.prefetch_io);
+  pub("kernel.release_requests", stats_.release_requests);
+  pub("kernel.release_pages_enqueued", stats_.release_pages_enqueued);
+  pub("kernel.memory_waits", stats_.memory_waits);
+  pub("kernel.reactive_evictions", stats_.reactive_evictions);
+  pub("kernel.local_evictions", stats_.local_evictions);
+  pub("kernel.readahead_reads", stats_.readahead_reads);
+  pub("kernel.swap_reads", swap_->reads());
+  pub("kernel.swap_writes", swap_->writes());
+  pub("kernel.trace_events_dropped", event_log_.dropped());
+  gauge_free_pages_->Set(static_cast<double>(free_list_.size()));
+  for (const auto& as : address_spaces_) {
+    const MetricLabels labels = {{"as", as->name()}};
+    const AsStats& s = as->stats();
+    metrics_.GetCounter("as.pages_stolen_from", labels)->Set(s.pages_stolen_from);
+    metrics_.GetCounter("as.pages_released", labels)->Set(s.pages_released);
+    metrics_.GetCounter("as.releases_skipped", labels)->Set(s.releases_skipped);
+    metrics_.GetCounter("as.rescued_from_steal", labels)->Set(s.rescued_from_steal);
+    metrics_.GetCounter("as.rescued_from_release", labels)->Set(s.rescued_from_release);
+    metrics_.GetCounter("as.invalidations_received", labels)->Set(s.invalidations_received);
+    metrics_.GetGauge("as.resident_pages", labels)
+        ->Set(static_cast<double>(as->page_table().resident_count()));
+  }
 }
 
 void Kernel::StartTracing(SimDuration period) {
@@ -216,10 +292,18 @@ void Kernel::Wake(Thread* t) {
     case Thread::BlockReason::kIo:
       t->times_.io_stall += waited;
       t->fault_service_.Add(static_cast<double>(waited));
+      if (observing_ && !t->is_daemon()) {
+        hist_fault_service_->Add(static_cast<double>(waited));
+      }
       break;
     case Thread::BlockReason::kLock:
+      t->times_.resource_stall += waited;
+      break;
     case Thread::BlockReason::kMemory:
       t->times_.resource_stall += waited;
+      if (observing_) {
+        event_log_.Record(Now(), KernelEventType::kMemoryWaitEnd, t->id());
+      }
       break;
     case Thread::BlockReason::kSleep:
     case Thread::BlockReason::kWaitQueue:
@@ -325,6 +409,9 @@ FrameId Kernel::AllocateFrame(AddressSpace* as, VPage vpage) {
   if (f == kNoFrame) {
     return kNoFrame;
   }
+  if (observing_) {
+    freed_at_.erase(f);  // handed out, not rescued: forget the free timestamp
+  }
   Frame& fr = frames_.at(f);
   if (fr.owner != kNoAs) {
     // Break the stale rescue identity of the page that last lived here.
@@ -397,6 +484,9 @@ void Kernel::FreeFrame(FrameId f, bool at_tail) {
       } else {
         free_list_.PushHead(f);
       }
+      if (observing_) {
+        freed_at_[f] = Now();
+      }
       WakeMemoryWaiters();
       WakeFrameWaiters(f);  // touches that arrived mid-writeback can now rescue
       MaybeNotifySharedHeaders();
@@ -407,6 +497,9 @@ void Kernel::FreeFrame(FrameId f, bool at_tail) {
     free_list_.PushTail(f);
   } else {
     free_list_.PushHead(f);
+  }
+  if (observing_) {
+    freed_at_[f] = Now();
   }
   WakeMemoryWaiters();
   MaybeNotifySharedHeaders();
@@ -422,6 +515,20 @@ void Kernel::WakeMemoryWaiters() {
 void Kernel::WaitOnFrame(Thread* t, FrameId f, SimDuration elapsed) {
   frame_waiters_[f].push_back(t);
   Block(t, Thread::BlockReason::kIo, elapsed);
+}
+
+void Kernel::RecordRescue(Thread* t, AddressSpace* as, VPage vpage, FrameId f,
+                          FreedBy freed_by) {
+  const bool by_daemon = freed_by == FreedBy::kDaemon;
+  if (const auto it = freed_at_.find(f); it != freed_at_.end()) {
+    (by_daemon ? hist_rescue_daemon_ : hist_rescue_release_)
+        ->Add(static_cast<double>(Now() - it->second));
+    freed_at_.erase(it);
+  }
+  event_log_.Record(Now(),
+                    by_daemon ? KernelEventType::kDaemonRescue
+                              : KernelEventType::kReleaseRescue,
+                    t->id(), as->id(), vpage);
 }
 
 void Kernel::WakeFrameWaiters(FrameId f) {
@@ -538,6 +645,9 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     const FrameId f = t->fault_frame_;
     Frame& fr = frames_.at(f);
     fr.io_busy = false;
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kFaultEnd, t->id(), as->id(), op.vpage);
+    }
     MapFrame(as, op.vpage, f, /*validate=*/true);
     fr.referenced = true;
     if (op.is_write) {
@@ -628,6 +738,9 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
         ++stats_.rescued_release_freed;
         ++as->stats().rescued_from_release;
       }
+      if (observing_) {
+        RecordRescue(t, as, op.vpage, pte.frame, fr.freed_by);
+      }
       const FrameId f = pte.frame;
       MapFrame(as, op.vpage, f, /*validate=*/true);
       fr.referenced = true;
@@ -656,6 +769,9 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   if (f == kNoFrame) {
     // No memory: wake the daemon and wait for a free frame, then retry.
     ++stats_.memory_waits;
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kMemoryWaitBegin, t->id(), as->id(), op.vpage);
+    }
     WakeDaemon();
     ReleaseLock(t, lock);
     memory_wait_.Enqueue(t);
@@ -706,6 +822,9 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   }
   UpdateSharedHeader(as);
   ReleaseLock(t, lock);
+  if (observing_) {
+    event_log_.Record(Now(), KernelEventType::kFaultBegin, t->id(), as->id(), op.vpage);
+  }
   Block(t, Thread::BlockReason::kIo, *elapsed);
   swap_->ReadPage(as->SwapSlot(op.vpage), [this, t]() {
     t->fault_phase_ = Thread::FaultPhase::kIoDone;
@@ -743,6 +862,9 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
     const FrameId f = t->fault_frame_;
     Frame& fr = frames_.at(f);
     fr.io_busy = false;
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kPrefetchComplete, t->id(), as->id(), op.vpage);
+    }
     MapFrame(as, op.vpage, f, /*validate=*/false);
     t->fault_phase_ = Thread::FaultPhase::kNone;
     t->fault_frame_ = kNoFrame;
@@ -788,6 +910,9 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
         ++stats_.rescued_release_freed;
         ++as->stats().rescued_from_release;
       }
+      if (observing_) {
+        RecordRescue(t, as, op.vpage, pte.frame, fr.freed_by);
+      }
       const FrameId f = pte.frame;
       MapFrame(as, op.vpage, f, /*validate=*/false);
       UpdateSharedHeader(as);
@@ -811,6 +936,9 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   if (partition > 0 && as->page_table().resident_count() >= partition) {
     ++stats_.prefetch_dropped;
     ++as->stats().prefetches_dropped;
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kPrefetchDrop, t->id(), as->id(), op.vpage);
+    }
     ReleaseLock(t, lock);
     return ExecResult::kCompleted;
   }
@@ -820,6 +948,9 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   if (f == kNoFrame) {
     ++stats_.prefetch_dropped;
     ++as->stats().prefetches_dropped;
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kPrefetchDrop, t->id(), as->id(), op.vpage);
+    }
     WakeDaemon();
     ReleaseLock(t, lock);
     return ExecResult::kCompleted;
@@ -833,6 +964,9 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   as->bitmap()->Set(op.vpage);
   ++stats_.prefetch_io;
   ReleaseLock(t, lock);
+  if (observing_) {
+    event_log_.Record(Now(), KernelEventType::kPrefetchIssue, t->id(), as->id(), op.vpage);
+  }
   Block(t, Thread::BlockReason::kIo, *elapsed);
   swap_->ReadPage(as->SwapSlot(op.vpage), [this, t]() {
     t->fault_phase_ = Thread::FaultPhase::kIoDone;
@@ -878,6 +1012,9 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     pte.valid = false;
     pte.invalid_reason = InvalidReason::kReleasePending;
     release_work_.push_back(ReleaseWorkItem{as, p});
+    if (observing_) {
+      event_log_.Record(Now(), KernelEventType::kReleaseEnqueue, t->id(), as->id(), p);
+    }
     ++stats_.release_pages_enqueued;
     ++as->stats().release_pages_requested;
     enqueued_any = true;

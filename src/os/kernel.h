@@ -24,7 +24,9 @@
 #include "src/os/address_space.h"
 #include "src/os/config.h"
 #include "src/os/thread.h"
+#include "src/sim/event_log.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/vm/frame_table.h"
 #include "src/vm/free_list.h"
@@ -88,6 +90,22 @@ class Kernel {
   // spaces whose resident sets should appear as series.
   void StartTracing(SimDuration period);
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+  // --- observability ----------------------------------------------------------
+
+  // Turns on the structured event log and the metrics registry (typed kernel
+  // events with thread/AS attribution; latency histograms for fault service,
+  // prefetch queue wait, and release-to-rescue distance). Call before creating
+  // address spaces or spawning threads so their names reach the trace. When
+  // not enabled, every recording site reduces to one predicted-false branch.
+  void EnableObservability(size_t max_events = EventLog::kDefaultCapacity);
+  [[nodiscard]] bool observing() const { return observing_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] EventLog& event_log() { return event_log_; }
+  // Copies the end-of-run aggregates (KernelStats, per-AS stats, swap totals)
+  // into the registry so one TextDump carries counters and histograms alike.
+  // Idempotent; typically called once after the run.
+  void PublishMetrics();
 
   // --- execution -------------------------------------------------------------
 
@@ -176,6 +194,9 @@ class Kernel {
   // onto an in-flight prefetch/page-in, or wait for a writeback to finish).
   void WaitOnFrame(Thread* t, FrameId f, SimDuration elapsed);
   void WakeFrameWaiters(FrameId f);
+  // Observability bookkeeping for a free-list rescue (event + distance
+  // histogram). Call only when observing_, before MapFrame resets freed_by.
+  void RecordRescue(Thread* t, AddressSpace* as, VPage vpage, FrameId f, FreedBy freed_by);
   // Local-replacement extension: evicts one of `as`'s own pages (round-robin
   // clock over its page table). Returns true if a victim was freed.
   bool EvictLocalVictim(AddressSpace* as);
@@ -216,6 +237,18 @@ class Kernel {
   // Tracing.
   void TraceTick(SimDuration period);
   TraceRecorder trace_;
+
+  // Observability (all dormant unless EnableObservability ran).
+  bool observing_ = false;
+  MetricsRegistry metrics_;
+  EventLog event_log_;
+  // Hot-path histogram handles, resolved once at enable time.
+  Histogram* hist_fault_service_ = nullptr;
+  Histogram* hist_rescue_release_ = nullptr;
+  Histogram* hist_rescue_daemon_ = nullptr;
+  Gauge* gauge_free_pages_ = nullptr;
+  // When each free frame entered the free list (rescue-distance measurement).
+  std::unordered_map<FrameId, SimTime> freed_at_;
 };
 
 }  // namespace tmh

@@ -110,6 +110,7 @@ SimDuration PagingDaemon::ProcessBatch() {
   const CostModel& costs = k.config_.costs;
   const int64_t target = k.config_.tunables.target_freemem_pages;
   SimDuration cost = 0;
+  int64_t stolen = 0;
 
   // Reactive (VINO-style) path: ask the process which pages to surrender
   // instead of aging its frames with the clock. The daemon still runs — the
@@ -133,10 +134,17 @@ SimDuration PagingDaemon::ProcessBatch() {
       ++k.stats_.daemon_pages_stolen;
       ++k.stats_.reactive_evictions;
       ++batch_as_->stats().pages_stolen_from;
+      ++stolen;
     }
     if (!victims.empty()) {
       k.UpdateSharedHeader(batch_as_);
-      return std::max<SimDuration>(cost, 1);
+      const SimDuration total = std::max<SimDuration>(cost, 1);
+      if (k.observing_) {
+        k.event_log_.Record(k.Now(), KernelEventType::kDaemonSweep,
+                            k.daemon_thread_->id(), batch_as_->id(),
+                            static_cast<VPage>(stolen), total);
+      }
+      return total;
     }
     // Handler had nothing to offer: fall through to the normal clock pass.
   }
@@ -173,10 +181,17 @@ SimDuration PagingDaemon::ProcessBatch() {
       cost += costs.daemon_steal_per_page;
       ++k.stats_.daemon_pages_stolen;
       ++batch_as_->stats().pages_stolen_from;
+      ++stolen;
     }
   }
   k.UpdateSharedHeader(batch_as_);
-  return std::max<SimDuration>(cost, 1);
+  const SimDuration total = std::max<SimDuration>(cost, 1);
+  if (k.observing_) {
+    k.event_log_.Record(k.Now(), KernelEventType::kDaemonSweep,
+                        k.daemon_thread_->id(), batch_as_->id(),
+                        static_cast<VPage>(stolen), total);
+  }
+  return total;
 }
 
 }  // namespace tmh

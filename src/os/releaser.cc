@@ -56,6 +56,7 @@ SimDuration Releaser::ProcessBatch() {
   FrameTable& frames = k.frames_;
   const bool release_to_tail = k.config_.tunables.release_to_tail;
   SimDuration cost = 0;
+  int64_t freed = 0;
   ++k.stats_.releaser_batches;
   for (const VPage p : batch_) {
     cost += costs.releaser_per_page;
@@ -79,9 +80,20 @@ SimDuration Releaser::ProcessBatch() {
     k.FreeFrame(f, /*at_tail=*/release_to_tail);
     ++k.stats_.releaser_pages_freed;
     ++as_stats.pages_released;
+    ++freed;
+    if (k.observing_) {
+      k.event_log_.Record(k.Now(), KernelEventType::kReleaseFree,
+                          k.releaser_thread_->id(), batch_as_->id(), p);
+    }
   }
   k.UpdateSharedHeader(batch_as_);
-  return std::max<SimDuration>(cost, 1);
+  const SimDuration total = std::max<SimDuration>(cost, 1);
+  if (k.observing_) {
+    k.event_log_.Record(k.Now(), KernelEventType::kReleaserBatch,
+                        k.releaser_thread_->id(), batch_as_->id(),
+                        static_cast<VPage>(freed), total);
+  }
+  return total;
 }
 
 }  // namespace tmh

@@ -6,6 +6,11 @@ namespace tmh {
 
 PrefetchPool::PrefetchPool(Kernel* kernel, AddressSpace* as, int num_threads, size_t max_queue)
     : kernel_(kernel), as_(as), max_queue_(max_queue) {
+  if (kernel_->observing()) {
+    hist_queue_wait_ = kernel_->metrics().GetHistogram(
+        "prefetch.queue_wait_ns", ExponentialBounds(1000.0, 2.0, 26),
+        {{"as", as_->name()}});
+  }
   for (int i = 0; i < num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(this));
     worker_threads_.push_back(kernel_->Spawn(as_->name() + ":pf" + std::to_string(i), as_,
@@ -24,6 +29,9 @@ void PrefetchPool::Enqueue(VPage page) {
   }
   queued_.insert(page);
   queue_.push_back(page);
+  if (hist_queue_wait_ != nullptr) {
+    enqueued_at_[page] = kernel_->Now();
+  }
   ++enqueued_;
   kernel_->Signal(&wq_);
 }
@@ -36,6 +44,12 @@ Op PrefetchPool::Worker::Next(Kernel& kernel) {
   const VPage page = pool_->queue_.front();
   pool_->queue_.pop_front();
   pool_->queued_.erase(page);
+  if (pool_->hist_queue_wait_ != nullptr) {
+    if (const auto it = pool_->enqueued_at_.find(page); it != pool_->enqueued_at_.end()) {
+      pool_->hist_queue_wait_->Add(static_cast<double>(kernel.Now() - it->second));
+      pool_->enqueued_at_.erase(it);
+    }
+  }
   Op op = Op::Prefetch(page);
   op.as = pool_->as_;
   return op;

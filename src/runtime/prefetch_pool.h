@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -62,6 +63,10 @@ class PrefetchPool {
   uint64_t duplicates_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Thread*> worker_threads_;
+  // Observability (set only when the kernel was observing at construction):
+  // how long requests sat queued before a worker picked them up.
+  Histogram* hist_queue_wait_ = nullptr;
+  std::unordered_map<VPage, SimTime> enqueued_at_;
 };
 
 }  // namespace tmh

@@ -1,0 +1,162 @@
+#include "src/sim/event_log.h"
+
+#include <cstdio>
+
+namespace tmh {
+namespace {
+
+// Per-type rendering in the Chrome trace ("ph" phase letters: B/E open and
+// close a nested span on one thread row, X is a self-contained span with an
+// explicit duration, i an instant marker, C a counter track).
+struct ChromePhase {
+  char ph;
+  const char* name;
+  const char* category;
+};
+
+ChromePhase PhaseOf(KernelEventType type) {
+  switch (type) {
+    case KernelEventType::kFaultBegin:
+      return {'B', "hard_fault", "fault"};
+    case KernelEventType::kFaultEnd:
+      return {'E', "hard_fault", "fault"};
+    case KernelEventType::kMemoryWaitBegin:
+      return {'B', "memory_wait", "fault"};
+    case KernelEventType::kMemoryWaitEnd:
+      return {'E', "memory_wait", "fault"};
+    case KernelEventType::kPrefetchIssue:
+      return {'B', "prefetch_io", "prefetch"};
+    case KernelEventType::kPrefetchComplete:
+      return {'E', "prefetch_io", "prefetch"};
+    case KernelEventType::kPrefetchDrop:
+      return {'i', "prefetch_drop", "prefetch"};
+    case KernelEventType::kReleaseEnqueue:
+      return {'i', "release_enqueue", "release"};
+    case KernelEventType::kReleaseFree:
+      return {'i', "release_free", "release"};
+    case KernelEventType::kReleaseRescue:
+      return {'i', "release_rescue", "release"};
+    case KernelEventType::kDaemonRescue:
+      return {'i', "daemon_rescue", "daemon"};
+    case KernelEventType::kDaemonSweep:
+      return {'X', "daemon_sweep", "daemon"};
+    case KernelEventType::kReleaserBatch:
+      return {'X', "releaser_batch", "release"};
+    case KernelEventType::kRuntimeDrain:
+      return {'i', "runtime_drain", "runtime"};
+    case KernelEventType::kFreePagesSample:
+      return {'C', "free_pages", "memory"};
+  }
+  return {'i', "unknown", "unknown"};
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* KernelEventName(KernelEventType type) { return PhaseOf(type).name; }
+
+size_t EventLog::Count(KernelEventType type) const {
+  size_t n = 0;
+  for (const KernelEvent& e : events_) {
+    n += (e.type == type) ? 1 : 0;
+  }
+  return n;
+}
+
+std::string EventLog::ToChromeTrace() const {
+  std::string out = "{\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+      "\"args\":{\"name\":\"tmh simulated kernel\"}}";
+  char buf[256];
+  for (const auto& [tid, name] : thread_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"name\":\"",
+                  tid);
+    out += buf;
+    AppendEscaped(out, name);
+    out += "\"}}";
+  }
+  for (const KernelEvent& e : events_) {
+    const ChromePhase phase = PhaseOf(e.type);
+    // Chrome timestamps are microseconds; three decimals keep ns precision.
+    const double ts_us = static_cast<double>(e.when) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"%c\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,"
+                  "\"tid\":%d,\"ts\":%.3f",
+                  phase.ph, phase.name, phase.category, e.tid, ts_us);
+    out += buf;
+    if (phase.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", static_cast<double>(e.arg) / 1e3);
+      out += buf;
+    }
+    if (phase.ph == 'i') {
+      out += ",\"s\":\"t\"";  // instant scoped to its thread
+    }
+    if (phase.ph == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"free_pages\":%lld}",
+                    static_cast<long long>(e.arg));
+      out += buf;
+    } else if (phase.ph != 'E') {  // E events inherit the B event's args
+      out += ",\"args\":{";
+      bool first = true;
+      if (e.as != kNoAs) {
+        out += "\"as\":\"";
+        const auto it = as_names_.find(e.as);
+        AppendEscaped(out, it != as_names_.end() ? it->second : std::to_string(e.as));
+        out += '"';
+        first = false;
+      }
+      if (e.vpage != kNoVPage) {
+        // Batch spans reuse the field as a page count (see KernelEventType).
+        const bool is_span = phase.ph == 'X';
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", first ? "" : ",",
+                      is_span ? "pages" : "vpage", static_cast<long long>(e.vpage));
+        out += buf;
+        first = false;
+      }
+      if (e.type == KernelEventType::kRuntimeDrain) {
+        std::snprintf(buf, sizeof(buf), "%s\"issued\":%lld", first ? "" : ",",
+                      static_cast<long long>(e.arg));
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool EventLog::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeTrace();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tmh

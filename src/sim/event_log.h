@@ -1,0 +1,113 @@
+// Structural event log of the simulated kernel.
+//
+// Where TraceRecorder samples levels at a fixed period, the EventLog records
+// the *edges*: every fault span, prefetch I/O, release decision, daemon sweep,
+// and memory wait, with its simulated timestamp and thread / address-space
+// attribution. The Chrome trace export renders the run as a timeline loadable
+// in about://tracing (or ui.perfetto.dev): span events (ph B/E or X) per
+// simulated thread, instants for one-shot decisions, and counter events for
+// free memory.
+//
+// Recording is off by default and the log is append-only POD, so a disabled
+// log costs one branch per call site; components additionally guard their
+// Record calls behind Kernel::observing() so argument marshalling is skipped
+// too.
+
+#ifndef TMH_SRC_SIM_EVENT_LOG_H_
+#define TMH_SRC_SIM_EVENT_LOG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/vm/types.h"
+
+namespace tmh {
+
+enum class KernelEventType : uint8_t {
+  kFaultBegin,        // hard-fault page-in I/O issued (span open)
+  kFaultEnd,          // page-in mapped and validated (span close)
+  kMemoryWaitBegin,   // fault found no free frame; thread parked (span open)
+  kMemoryWaitEnd,     // free frame appeared; thread woken (span close)
+  kPrefetchIssue,     // prefetch page-in I/O issued (span open)
+  kPrefetchComplete,  // prefetched page mapped unvalidated (span close)
+  kPrefetchDrop,      // prefetch discarded: no free memory / partition cap
+  kReleaseEnqueue,    // release syscall queued one page for the releaser
+  kReleaseFree,       // releaser freed the page to the free list
+  kReleaseRescue,     // touch/prefetch rescued a release-freed frame
+  kDaemonRescue,      // touch/prefetch rescued a daemon-freed frame
+  kDaemonSweep,       // one paging-daemon batch (arg = CPU cost, vpage = stolen)
+  kReleaserBatch,     // one releaser batch (arg = CPU cost, vpage = freed)
+  kRuntimeDrain,      // run-time layer near-limit drain (arg = pages issued)
+  kFreePagesSample,   // periodic free-list level (arg = free pages)
+};
+
+// Stable lower_snake name used in exports and tests.
+const char* KernelEventName(KernelEventType type);
+
+struct KernelEvent {
+  SimTime when = 0;
+  KernelEventType type = KernelEventType::kFreePagesSample;
+  int32_t tid = 0;          // simulated thread id; 0 = kernel context
+  AsId as = kNoAs;          // involved address space, if any
+  VPage vpage = kNoVPage;   // involved page (or a count for batch spans)
+  int64_t arg = 0;          // type-specific payload (duration ns, level, count)
+
+  friend bool operator==(const KernelEvent&, const KernelEvent&) = default;
+};
+
+class EventLog {
+ public:
+  // ~40 MB of events at the default; the log stops (and counts drops) beyond.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 20;
+
+  EventLog() = default;
+
+  void Enable(size_t capacity = kDefaultCapacity) {
+    enabled_ = true;
+    capacity_ = capacity;
+    events_.reserve(std::min(capacity, size_t{1} << 16));
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void Record(SimTime when, KernelEventType type, int32_t tid, AsId as = kNoAs,
+              VPage vpage = kNoVPage, int64_t arg = 0) {
+    if (!enabled_) {
+      return;
+    }
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(KernelEvent{when, type, tid, as, vpage, arg});
+  }
+
+  // Attribution names shown in the Chrome trace (thread rows, "as" args).
+  void SetThreadName(int32_t tid, const std::string& name) { thread_names_[tid] = name; }
+  void SetAddressSpaceName(AsId as, const std::string& name) { as_names_[as] = name; }
+
+  [[nodiscard]] const std::vector<KernelEvent>& events() const { return events_; }
+  [[nodiscard]] size_t dropped() const { return dropped_; }
+  [[nodiscard]] size_t Count(KernelEventType type) const;
+
+  // Renders the Chrome tracing JSON object ({"traceEvents": [...]}).
+  [[nodiscard]] std::string ToChromeTrace() const;
+
+  // Writes the Chrome trace JSON to `path`. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_ = 0;
+  size_t dropped_ = 0;
+  std::vector<KernelEvent> events_;
+  std::map<int32_t, std::string> thread_names_;
+  std::map<AsId, std::string> as_names_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_EVENT_LOG_H_

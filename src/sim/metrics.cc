@@ -1,0 +1,72 @@
+#include "src/sim/metrics.h"
+
+#include <cstdio>
+
+namespace tmh {
+
+std::string MetricsRegistry::Key(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += labels[i].first;
+    key += "=\"";
+    key += labels[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  return &counters_[Key(name, labels)];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  return &gauges_[Key(name, labels)];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds,
+                                         const MetricLabels& labels) {
+  const auto [it, inserted] = histograms_.try_emplace(Key(name, labels), std::move(bounds));
+  (void)inserted;
+  return &it->second;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::string out = "# tmh-metrics-v1\n";
+  char line[256];
+  for (const auto& [key, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", key.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out += line;
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %g\n", key.c_str(), gauge.value());
+    out += line;
+  }
+  for (const auto& [key, hist] : histograms_) {
+    std::snprintf(line, sizeof(line), "histogram %s total=%llu p50=%g p90=%g p99=%g\n",
+                  key.c_str(), static_cast<unsigned long long>(hist.total()),
+                  hist.Quantile(0.5), hist.Quantile(0.9), hist.Quantile(0.99));
+    out += line;
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteText(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string dump = TextDump();
+  const bool ok = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tmh

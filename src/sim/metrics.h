@@ -1,0 +1,93 @@
+// Structured metrics for the simulated machine.
+//
+// A MetricsRegistry holds named counters, gauges, and latency Histograms,
+// optionally distinguished by a label set ({k="v",...}). Components resolve a
+// metric once (GetCounter/GetGauge/GetHistogram are find-or-create and return
+// stable pointers) and then update it through the pointer on the hot path, so
+// a recorded sample is one guarded pointer store away from free. The text
+// dump ("tmh-metrics-v1", one metric per line, sorted by key) is the export
+// format; it carries histogram totals and quantiles alongside the aggregate
+// counters the figures are built from.
+
+#ifndef TMH_SRC_SIM_METRICS_H_
+#define TMH_SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace tmh {
+
+// Ordered label set rendered into the metric key as {k="v",...}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  // End-of-run publication of an externally accumulated total (idempotent,
+  // unlike Inc); not for hot-path use.
+  void Set(uint64_t v) { value_ = v; }
+  [[nodiscard]] uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Instantaneous level (free pages, queue depth); keeps the last value set.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Returned pointers stay valid for the registry's lifetime.
+  // A histogram's bounds are fixed by its first registration; later calls
+  // under the same key return the existing instance and ignore `bounds`.
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const MetricLabels& labels = {});
+
+  // The full key a (name, labels) pair is stored under: name{k="v",...}.
+  static std::string Key(const std::string& name, const MetricLabels& labels);
+
+  [[nodiscard]] size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // One metric per line, sorted by key within each kind:
+  //   counter <key> <value>
+  //   gauge <key> <value>
+  //   histogram <key> total=<n> p50=<q> p90=<q> p99=<q>
+  [[nodiscard]] std::string TextDump() const;
+
+  // Writes the text dump to `path`. Returns false on I/O failure.
+  bool WriteText(const std::string& path) const;
+
+ private:
+  // std::map: sorted dump for free, and node stability for the returned
+  // pointers.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_SIM_METRICS_H_

@@ -34,8 +34,14 @@ double Histogram::Quantile(double q) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
+      if (i == bounds_.size()) {
+        // Overflow bucket [bounds.back(), inf): there is no upper edge to
+        // interpolate toward, so saturate at the last finite bound (the
+        // sentinel documented in stats.h) instead of pretending lo == hi.
+        return bounds_.back();
+      }
       const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
-      const double hi = (i < bounds_.size()) ? bounds_[i] : bounds_.back();
+      const double hi = bounds_[i];
       const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
       return lo + frac * (hi - lo);
     }

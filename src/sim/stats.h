@@ -50,6 +50,8 @@ class Histogram {
   [[nodiscard]] const std::vector<uint64_t>& counts() const { return counts_; }
 
   // Approximate quantile by linear interpolation within buckets; q in [0,1].
+  // A quantile that lands in the overflow bucket saturates to bounds().back()
+  // — read that value as ">= the last bound", not as an exact estimate.
   [[nodiscard]] double Quantile(double q) const;
 
   // Multi-line human-readable rendering (for example programs and debugging).

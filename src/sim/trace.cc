@@ -48,7 +48,8 @@ bool TraceRecorder::WriteCsv(const std::string& path) const {
 
 TraceRecorder::SeriesSummary TraceRecorder::Summarize(int series_index) const {
   SeriesSummary summary;
-  if (samples_.empty()) {
+  if (samples_.empty() || series_index < 0 ||
+      static_cast<size_t>(series_index) >= series_.size()) {
     return summary;
   }
   const auto idx = static_cast<size_t>(series_index);

@@ -44,6 +44,7 @@ class TraceRecorder {
   bool WriteCsv(const std::string& path) const;
 
   // Min/max/final value of one series (by index), for quick assertions.
+  // An index outside the registered series yields the all-zero summary.
   struct SeriesSummary {
     double min = 0;
     double max = 0;

@@ -8,6 +8,7 @@
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace tmh {
 namespace {
@@ -154,11 +155,50 @@ TEST(HistogramTest, ResetClearsCounts) {
   EXPECT_EQ(h.counts()[0], 0u);
 }
 
+TEST(HistogramTest, QuantileSaturatesAtLastBoundForOverflow) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Add(1e9);  // everything in the overflow bucket
+  }
+  // The overflow bucket has no upper edge: every quantile saturates to the
+  // documented sentinel, bounds().back(), instead of an interpolated guess.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 20.0);
+
+  Histogram mixed({10.0, 20.0});
+  mixed.Add(5.0);
+  mixed.Add(1e9);
+  EXPECT_LE(mixed.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(mixed.Quantile(0.99), 20.0);
+}
+
 TEST(HistogramTest, ExponentialBoundsGrowByRatio) {
   const auto bounds = ExponentialBounds(1.0, 2.0, 5);
   ASSERT_EQ(bounds.size(), 5u);
   EXPECT_DOUBLE_EQ(bounds[0], 1.0);
   EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+}
+
+TEST(TraceRecorderTest, SummarizeBoundsChecksTheSeriesIndex) {
+  TraceRecorder trace;
+  const int free = trace.AddSeries("free_pages");
+  trace.Record(0, {100.0});
+  trace.Record(kSec, {40.0});
+  trace.Record(2 * kSec, {70.0});
+
+  const TraceRecorder::SeriesSummary ok = trace.Summarize(free);
+  EXPECT_DOUBLE_EQ(ok.min, 40.0);
+  EXPECT_DOUBLE_EQ(ok.max, 100.0);
+  EXPECT_DOUBLE_EQ(ok.final, 70.0);
+
+  // Out-of-range indices (negative or past the registered series) yield the
+  // all-zero summary instead of reading past the sample rows.
+  for (const int bad : {-1, 1, 99}) {
+    const TraceRecorder::SeriesSummary summary = trace.Summarize(bad);
+    EXPECT_DOUBLE_EQ(summary.min, 0.0) << bad;
+    EXPECT_DOUBLE_EQ(summary.max, 0.0) << bad;
+    EXPECT_DOUBLE_EQ(summary.final, 0.0) << bad;
+  }
 }
 
 TEST(TimeTest, UnitConversions) {

@@ -10,7 +10,9 @@ Two modes:
   bench_regress.py BASELINE CANDIDATE [--threshold PCT]
       Prints a per-benchmark comparison (ns/op and throughput ratios) and
       exits 1 if any benchmark regressed by more than PCT percent (default 25,
-      deliberately loose: these are single-machine wall-clock numbers).
+      deliberately loose: these are single-machine wall-clock numbers) or is
+      present in BASELINE but missing from CANDIDATE (pass --allow-missing to
+      tolerate deliberate removals).
 
 Typical flow:
 
@@ -65,12 +67,15 @@ def validate(doc):
 
 def rate_of(bench):
     """Higher-is-better throughput for any benchmark entry."""
-    if "sim_events_per_s" in bench:
-        return float(bench["sim_events_per_s"]), "sim-events/s"
+    # A key explicitly set to null means "not measured": fall through to the
+    # micro-kernel rate rather than crashing on float(None).
+    v = bench.get("sim_events_per_s")
+    if v is not None:
+        return float(v), "sim-events/s"
     return float(bench["items_per_s"]), "items/s"
 
 
-def compare(baseline, candidate, threshold_pct):
+def compare(baseline, candidate, threshold_pct, allow_missing=False):
     base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
     worst = 0.0
     failed = []
@@ -91,9 +96,15 @@ def compare(baseline, candidate, threshold_pct):
             failed.append(name)
         worst = max(worst, regression_pct)
         print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")
+    cand_names = {b["name"] for b in candidate["benchmarks"]}
     for name in base_by_name:
-        if name not in {b["name"] for b in candidate["benchmarks"]}:
-            print(f"{name:32} {'(dropped from candidate)':>14}")
+        if name not in cand_names:
+            # A benchmark silently vanishing is exactly the failure a regression
+            # gate exists to catch; only --allow-missing waves it through.
+            flag = "" if allow_missing else "  << MISSING"
+            print(f"{name:32} {'(dropped from candidate)':>24}{flag}")
+            if not allow_missing:
+                failed.append(name)
     print(f"\nworst regression: {worst:.1f}% (threshold {threshold_pct:.0f}%)")
     return failed
 
@@ -104,6 +115,9 @@ def main():
     parser.add_argument("--validate", action="store_true", help="schema-check only")
     parser.add_argument("--threshold", type=float, default=25.0,
                         help="max tolerated throughput regression, percent")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate benchmarks present in BASELINE but "
+                             "absent from CANDIDATE (deliberate removals)")
     args = parser.parse_args()
 
     if args.validate:
@@ -116,7 +130,7 @@ def main():
         parser.error("compare mode takes exactly two files: BASELINE CANDIDATE")
     baseline = load(args.files[0])
     candidate = load(args.files[1])
-    failed = compare(baseline, candidate, args.threshold)
+    failed = compare(baseline, candidate, args.threshold, args.allow_missing)
     if failed:
         print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Self-test for bench_regress.py: exit codes for the gate's failure modes.
+
+Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
+
+  * --validate accepts every fixture (including an explicit null rate);
+  * a benchmark dropped from the candidate fails the gate (exit 1) and is
+    waved through by --allow-missing;
+  * "sim_events_per_s": null falls back to items_per_s instead of crashing;
+  * a real throughput regression past the threshold still fails.
+
+Usage: bench_regress_test.py [DATA_DIR]   (default: ../tests/data next to
+this script, so it runs both from the source tree and from CTest).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+GATE = os.path.join(HERE, "bench_regress.py")
+
+
+def run_gate(*args):
+    proc = subprocess.run(
+        [sys.executable, GATE, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def check(label, ok, output):
+    if ok:
+        print(f"PASS {label}")
+        return 0
+    print(f"FAIL {label}\n{output}")
+    return 1
+
+
+def main():
+    data = sys.argv[1] if len(sys.argv) > 1 else os.path.join(HERE, "..", "tests", "data")
+    baseline = os.path.join(data, "bench_baseline.json")
+    missing = os.path.join(data, "bench_missing.json")
+    null_rate = os.path.join(data, "bench_null_rate.json")
+
+    failures = 0
+
+    for path in (baseline, missing, null_rate):
+        code, out = run_gate("--validate", path)
+        failures += check(f"validate {os.path.basename(path)}", code == 0, out)
+
+    code, out = run_gate(baseline, missing)
+    failures += check("dropped benchmark fails the gate",
+                      code == 1 and "MISSING" in out and "micro_b" in out, out)
+
+    code, out = run_gate(baseline, missing, "--allow-missing")
+    failures += check("--allow-missing tolerates the drop", code == 0, out)
+
+    code, out = run_gate(baseline, null_rate)
+    failures += check("null sim_events_per_s falls back to items_per_s",
+                      code == 0 and "Traceback" not in out, out)
+
+    # A genuine regression must still trip the gate: degrade one rate by 2x.
+    with open(baseline, encoding="utf-8") as f:
+        doc = json.load(f)
+    for bench in doc["benchmarks"]:
+        if bench["name"] == "micro_b":
+            bench["items_per_s"] = bench["items_per_s"] / 2
+            bench["ns_per_op"] = bench["ns_per_op"] * 2
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(doc, f)
+        slow = f.name
+    try:
+        code, out = run_gate(baseline, slow)
+        failures += check("50% throughput loss fails the gate",
+                          code == 1 and "REGRESSION" in out, out)
+    finally:
+        os.unlink(slow)
+
+    if failures:
+        print(f"{failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("all bench_regress self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ struct Flags {
   bool oracle = false;
   std::string trace_path;
   std::string html_path;
+  std::string trace_out_path;    // Chrome tracing JSON (structured event log)
+  std::string metrics_out_path;  // metrics registry text dump
   double trace_period_s = 0.1;
   int64_t memory_mb = 0;          // 0 = scale the 75 MB default
   int64_t local_partition = 0;    // pages; 0 = global replacement
@@ -57,6 +59,9 @@ void PrintUsage() {
       "  --drain-mru         drain buffered releases newest-first\n"
       "  --trace PATH        write a time-series CSV to PATH\n"
       "  --html PATH         write a standalone HTML trace report to PATH\n"
+      "  --trace-out PATH    write a Chrome tracing JSON of kernel events to PATH\n"
+      "                      (load in about://tracing or ui.perfetto.dev)\n"
+      "  --metrics-out PATH  write the metrics registry text dump to PATH\n"
       "  --trace-period S    trace sample period in seconds      [0.1]\n"
       "  --json              emit machine-readable JSON instead of tables\n"
       "  --list              list available workloads and exit\n");
@@ -125,6 +130,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->json = true;
     } else if (arg == "--trace") {
       flags->trace_path = next("--trace");
+    } else if (arg == "--trace-out") {
+      flags->trace_out_path = next("--trace-out");
+    } else if (arg == "--metrics-out") {
+      flags->metrics_out_path = next("--metrics-out");
     } else if (arg == "--html") {
       flags->html_path = next("--html");
     } else if (arg == "--trace-period") {
@@ -228,6 +237,9 @@ int main(int argc, char** argv) {
   if (!flags.trace_path.empty() || !flags.html_path.empty()) {
     spec.trace_period = static_cast<tmh::SimDuration>(flags.trace_period_s * tmh::kSec);
   }
+  if (!flags.trace_out_path.empty() || !flags.metrics_out_path.empty()) {
+    spec.observe = true;
+  }
 
   if (!flags.json) {
     std::printf("%s version %s at scale %.2f on a %.1f MB machine%s\n\n", info->name.c_str(),
@@ -238,6 +250,35 @@ int main(int argc, char** argv) {
   const tmh::ExperimentResult result = tmh::RunExperiment(spec);
   if (!result.completed) {
     std::fprintf(stderr, "WARNING: run did not complete within the event budget\n");
+  }
+
+  if (!flags.trace_out_path.empty()) {
+    if (result.event_log.WriteChromeTrace(flags.trace_out_path)) {
+      if (!flags.json) {
+        std::printf("Chrome trace written to %s (%zu events%s)\n", flags.trace_out_path.c_str(),
+                    result.event_log.events().size(),
+                    result.event_log.dropped() > 0 ? ", capacity hit" : "");
+      }
+    } else {
+      std::fprintf(stderr, "failed to write Chrome trace to %s\n",
+                   flags.trace_out_path.c_str());
+    }
+  }
+  if (!flags.metrics_out_path.empty()) {
+    std::FILE* out = std::fopen(flags.metrics_out_path.c_str(), "w");
+    const bool ok = out != nullptr &&
+                    std::fwrite(result.metrics_text.data(), 1, result.metrics_text.size(),
+                                out) == result.metrics_text.size();
+    if (out != nullptr) {
+      std::fclose(out);
+    }
+    if (ok) {
+      if (!flags.json) {
+        std::printf("metrics written to %s\n", flags.metrics_out_path.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", flags.metrics_out_path.c_str());
+    }
   }
 
   if (flags.json) {
