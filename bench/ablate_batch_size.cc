@@ -1,6 +1,9 @@
 // Ablation A1: the run-time layer's drain batch size. The paper fixes it at
 // 100 pages and notes "we have not experimented with varying this parameter";
 // this sweep does.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 #include <vector>
@@ -11,29 +14,39 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Ablation A1: buffered-release drain batch size (MATVEC, FFTPDE)", args.scale);
 
-  tmh::ReportTable table({"benchmark", "batch", "exec(s)", "drains", "issued-from-buffer",
-                          "stale-dropped", "daemon-stolen"});
+  const std::vector<int> batches = {10, 25, 50, 100, 200, 400};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  std::vector<std::string> names;
   for (const char* name : {"MATVEC", "FFTPDE"}) {
     for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
       if (info.name != name) {
         continue;
       }
-      for (const int batch : {10, 25, 50, 100, 200, 400}) {
-        tmh::ExperimentSpec spec;
-        spec.machine = tmh::BenchMachine(args.scale);
-        spec.workload = info.factory(args.scale);
-        spec.version = tmh::AppVersion::kBuffered;
+      for (const int batch : batches) {
+        tmh::ExperimentSpec spec =
+            tmh::BenchSpec(info, args.scale, tmh::AppVersion::kBuffered, false);
         spec.runtime.release_batch = batch;
-        const tmh::ExperimentResult result = RunExperiment(spec);
-        const tmh::RuntimeStats& rt = *result.app.runtime;
-        table.AddRow({info.name, std::to_string(batch),
-                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
-                      tmh::FormatCount(rt.release_drains),
-                      tmh::FormatCount(rt.releases_issued_from_buffer),
-                      tmh::FormatCount(rt.buffer_stale_dropped),
-                      tmh::FormatCount(result.kernel.daemon_pages_stolen)});
+        specs.push_back(spec);
+        labels.push_back(info.name + "/B batch " + std::to_string(batch));
+        names.push_back(info.name);
       }
     }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"benchmark", "batch", "exec(s)", "drains", "issued-from-buffer",
+                          "stale-dropped", "daemon-stolen"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    const tmh::RuntimeStats& rt = *result.app.runtime;
+    table.AddRow({names[i], std::to_string(batches[i % batches.size()]),
+                  tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+                  tmh::FormatCount(rt.release_drains),
+                  tmh::FormatCount(rt.releases_issued_from_buffer),
+                  tmh::FormatCount(rt.buffer_stale_dropped),
+                  tmh::FormatCount(result.kernel.daemon_pages_stolen)});
   }
   table.Print();
   std::printf(

@@ -2,6 +2,9 @@
 // sizes; the paper fixes 16 KB (Table 1). Larger pages amortize per-fault
 // costs and lengthen disk transfers; smaller pages track working sets more
 // precisely. MATVEC-B and the interactive task measure both sides.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -12,20 +15,26 @@ int main(int argc, char** argv) {
   tmh::PrintHeader("Ablation A5: page size (MATVEC-B + interactive)", args.scale);
 
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
-  tmh::ReportTable table({"page size", "exec(s)", "io-stall(s)", "swap-reads",
-                          "releaser-freed", "interactive(ms)"});
-  for (const int64_t kb : {4, 8, 16, 32, 64}) {
-    tmh::ExperimentSpec spec;
-    spec.machine = tmh::BenchMachine(args.scale);
+  const std::vector<int64_t> page_kbs = {4, 8, 16, 32, 64};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const int64_t kb : page_kbs) {
+    tmh::ExperimentSpec spec = tmh::BenchSpec(matvec, args.scale, tmh::AppVersion::kBuffered,
+                                              true, 5 * tmh::kSec);
     spec.machine.page_size_bytes = kb * 1024;
-    spec.workload = matvec.factory(args.scale);
-    spec.version = tmh::AppVersion::kBuffered;
-    spec.with_interactive = true;
     // Keep the interactive data set at 1 MB regardless of page size.
     spec.interactive.data_pages = (1024 / kb);
-    spec.interactive.sleep_time = 5 * tmh::kSec;
-    const tmh::ExperimentResult result = RunExperiment(spec);
-    table.AddRow({std::to_string(kb) + " KB",
+    specs.push_back(spec);
+    labels.push_back("MATVEC/B " + std::to_string(kb) + " KB pages");
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"page size", "exec(s)", "io-stall(s)", "swap-reads",
+                          "releaser-freed", "interactive(ms)"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({std::to_string(page_kbs[i]) + " KB",
                   tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
                   tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
                   tmh::FormatCount(result.swap_reads),

@@ -2,6 +2,9 @@
 // converts IRIX's synchronous paging interface into asynchronous, parallel
 // I/O; its size bounds the number of prefetches in flight and therefore how
 // much of the ten-disk array the application can drive.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -12,16 +15,24 @@ int main(int argc, char** argv) {
   tmh::PrintHeader("Ablation A4: prefetch thread-pool size (MATVEC, version B)", args.scale);
 
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+  const std::vector<int> thread_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const int threads : thread_counts) {
+    tmh::ExperimentSpec spec =
+        tmh::BenchSpec(matvec, args.scale, tmh::AppVersion::kBuffered, false);
+    spec.runtime.num_prefetch_threads = threads;
+    specs.push_back(spec);
+    labels.push_back("MATVEC/B threads " + std::to_string(threads));
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"threads", "exec(s)", "io-stall(s)", "collapsed-faults",
                           "prefetch-io"});
-  for (const int threads : {1, 2, 4, 8, 16, 32}) {
-    tmh::ExperimentSpec spec;
-    spec.machine = tmh::BenchMachine(args.scale);
-    spec.workload = matvec.factory(args.scale);
-    spec.version = tmh::AppVersion::kBuffered;
-    spec.runtime.num_prefetch_threads = threads;
-    const tmh::ExperimentResult result = RunExperiment(spec);
-    table.AddRow({std::to_string(threads),
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({std::to_string(thread_counts[i]),
                   tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
                   tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
                   tmh::FormatCount(result.app.faults.collapsed_faults),

@@ -5,6 +5,9 @@
 //   B/mru      — buffered, drains issue the newest buffered pages
 // on MATVEC (true reuse: buffering should win) and FFTPDE (false reuse:
 // buffering should not help and can hurt).
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -14,37 +17,44 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Ablation A3: release buffering and drain order", args.scale);
 
-  tmh::ReportTable table({"benchmark", "policy", "exec(s)", "io-stall(s)", "swap-reads",
-                          "rescued", "interactive(ms)"});
+  struct Config {
+    const char* label;
+    tmh::AppVersion version;
+    bool newest_first;
+  };
+  const std::vector<Config> configs = {{"R", tmh::AppVersion::kRelease, false},
+                                       {"B/fifo", tmh::AppVersion::kBuffered, false},
+                                       {"B/mru", tmh::AppVersion::kBuffered, true}};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  std::vector<std::string> names;
   for (const char* name : {"MATVEC", "FFTPDE"}) {
     for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
       if (info.name != name) {
         continue;
       }
-      struct Config {
-        const char* label;
-        tmh::AppVersion version;
-        bool newest_first;
-      };
-      for (const Config& config : {Config{"R", tmh::AppVersion::kRelease, false},
-                                   Config{"B/fifo", tmh::AppVersion::kBuffered, false},
-                                   Config{"B/mru", tmh::AppVersion::kBuffered, true}}) {
-        tmh::ExperimentSpec spec;
-        spec.machine = tmh::BenchMachine(args.scale);
-        spec.workload = info.factory(args.scale);
-        spec.version = config.version;
+      for (const Config& config : configs) {
+        tmh::ExperimentSpec spec = tmh::BenchSpec(info, args.scale, config.version, true);
         spec.runtime.drain_newest_first = config.newest_first;
-        spec.with_interactive = true;
-        spec.interactive.sleep_time = 5 * tmh::kSec;
-        const tmh::ExperimentResult result = RunExperiment(spec);
-        table.AddRow({info.name, config.label,
-                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
-                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
-                      tmh::FormatCount(result.swap_reads),
-                      tmh::FormatCount(result.kernel.rescued_release_freed),
-                      tmh::FormatDouble(result.interactive->mean_response_ns / 1e6, 1)});
+        specs.push_back(spec);
+        labels.push_back(info.name + "/" + config.label);
+        names.push_back(info.name);
       }
     }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"benchmark", "policy", "exec(s)", "io-stall(s)", "swap-reads",
+                          "rescued", "interactive(ms)"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({names[i], configs[i % configs.size()].label,
+                  tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+                  tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
+                  tmh::FormatCount(result.swap_reads),
+                  tmh::FormatCount(result.kernel.rescued_release_freed),
+                  tmh::FormatDouble(result.interactive->mean_response_ns / 1e6, 1)});
   }
   table.Print();
   std::printf(

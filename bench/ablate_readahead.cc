@@ -2,6 +2,9 @@
 // the obvious "cheap fix" for a sequential out-of-core program: would simple
 // OS read-ahead make compiler-inserted prefetching unnecessary — and does it
 // do anything for the interactive task?
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -13,28 +16,38 @@ int main(int argc, char** argv) {
                    args.scale);
 
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+  struct Config {
+    const char* label;
+    tmh::AppVersion version;
+    int64_t readahead;
+  };
+  const std::vector<Config> configs = {{"O, no read-ahead", tmh::AppVersion::kOriginal, 0},
+                                       {"O, read-ahead 2", tmh::AppVersion::kOriginal, 2},
+                                       {"O, read-ahead 4", tmh::AppVersion::kOriginal, 4},
+                                       {"O, read-ahead 8", tmh::AppVersion::kOriginal, 8},
+                                       {"B, no read-ahead", tmh::AppVersion::kBuffered, 0}};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const Config& config : configs) {
+    tmh::ExperimentSpec spec = tmh::BenchSpec(matvec, args.scale, config.version, true);
+    spec.machine.tunables.fault_readahead_pages = config.readahead;
+    specs.push_back(spec);
+    labels.push_back(config.label);
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"configuration", "exec(s)", "io-stall(s)", "readahead-reads",
                           "interactive(ms)", "int-hf/sweep"});
-  auto run = [&](const char* label, tmh::AppVersion version, int64_t readahead) {
-    tmh::ExperimentSpec spec;
-    spec.machine = tmh::BenchMachine(args.scale);
-    spec.machine.tunables.fault_readahead_pages = readahead;
-    spec.workload = matvec.factory(args.scale);
-    spec.version = version;
-    spec.with_interactive = true;
-    spec.interactive.sleep_time = 5 * tmh::kSec;
-    const tmh::ExperimentResult result = RunExperiment(spec);
-    table.AddRow({label, tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({configs[i].label,
+                  tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
                   tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
                   tmh::FormatCount(result.kernel.readahead_reads),
                   tmh::FormatDouble(result.interactive->mean_response_ns / 1e6, 1),
                   tmh::FormatDouble(result.interactive->hard_faults_per_sweep, 1)});
-  };
-  run("O, no read-ahead", tmh::AppVersion::kOriginal, 0);
-  run("O, read-ahead 2", tmh::AppVersion::kOriginal, 2);
-  run("O, read-ahead 4", tmh::AppVersion::kOriginal, 4);
-  run("O, read-ahead 8", tmh::AppVersion::kOriginal, 8);
-  run("B, no read-ahead", tmh::AppVersion::kBuffered, 0);
+  }
   table.Print();
   std::printf(
       "\nExpected shape: read-ahead recovers part of prefetching's overlap for the\n"

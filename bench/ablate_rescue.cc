@@ -3,6 +3,9 @@
 // (Section 3.1.2). This ablation pushes them at the head instead, destroying
 // most of the rescue window, and measures what that costs MGRID — the
 // benchmark whose single-version code releases pages the next sweep reuses.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -12,27 +15,38 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Ablation A2: released pages to free-list tail vs head", args.scale);
 
-  tmh::ReportTable table({"benchmark", "insert", "exec(s)", "rescued-releases", "hard-faults",
-                          "swap-reads"});
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  std::vector<std::string> names;
+  std::vector<bool> tails;
   for (const char* name : {"MGRID", "BUK"}) {
     for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
       if (info.name != name) {
         continue;
       }
       for (const bool to_tail : {true, false}) {
-        tmh::ExperimentSpec spec;
-        spec.machine = tmh::BenchMachine(args.scale);
+        tmh::ExperimentSpec spec =
+            tmh::BenchSpec(info, args.scale, tmh::AppVersion::kRelease, false);
         spec.machine.tunables.release_to_tail = to_tail;
-        spec.workload = info.factory(args.scale);
-        spec.version = tmh::AppVersion::kRelease;
-        const tmh::ExperimentResult result = RunExperiment(spec);
-        table.AddRow({info.name, to_tail ? "tail (paper)" : "head",
-                      tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
-                      tmh::FormatCount(result.kernel.rescued_release_freed),
-                      tmh::FormatCount(result.app.faults.hard_faults),
-                      tmh::FormatCount(result.swap_reads)});
+        specs.push_back(spec);
+        labels.push_back(info.name + "/R " + (to_tail ? "tail" : "head"));
+        names.push_back(info.name);
+        tails.push_back(to_tail);
       }
     }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"benchmark", "insert", "exec(s)", "rescued-releases", "hard-faults",
+                          "swap-reads"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({names[i], tails[i] ? "tail (paper)" : "head",
+                  tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+                  tmh::FormatCount(result.kernel.rescued_release_freed),
+                  tmh::FormatCount(result.app.faults.hard_faults),
+                  tmh::FormatCount(result.swap_reads)});
   }
   table.Print();
   std::printf(

@@ -1,6 +1,9 @@
 // Ablation A6: swap stripe width. Prefetching hides latency only as far as
 // the disk array's parallelism allows (Section 3.3 builds the pthread pool
 // precisely to exploit it); this sweep shrinks the paper's ten-disk array.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -11,21 +14,29 @@ int main(int argc, char** argv) {
   tmh::PrintHeader("Ablation A6: swap stripe width (MATVEC, versions O and B)", args.scale);
 
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
-  tmh::ReportTable table({"disks", "O exec(s)", "B exec(s)", "speedup", "B io-stall(s)"});
-  for (const int disks : {1, 2, 4, 6, 10}) {
-    auto run = [&](tmh::AppVersion version) {
-      tmh::ExperimentSpec spec;
-      spec.machine = tmh::BenchMachine(args.scale);
+  const std::vector<int> disk_counts = {1, 2, 4, 6, 10};
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const int disks : disk_counts) {
+    for (const tmh::AppVersion version :
+         {tmh::AppVersion::kOriginal, tmh::AppVersion::kBuffered}) {
+      tmh::ExperimentSpec spec = tmh::BenchSpec(matvec, args.scale, version, false);
       spec.machine.swap.num_disks = disks;
-      spec.workload = matvec.factory(args.scale);
-      spec.version = version;
-      return RunExperiment(spec);
-    };
-    const tmh::ExperimentResult o = run(tmh::AppVersion::kOriginal);
-    const tmh::ExperimentResult b = run(tmh::AppVersion::kBuffered);
+      specs.push_back(spec);
+      labels.push_back("MATVEC/" + std::string(tmh::VersionLabel(version)) + " disks " +
+                       std::to_string(disks));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"disks", "O exec(s)", "B exec(s)", "speedup", "B io-stall(s)"});
+  for (size_t i = 0; i < disk_counts.size(); ++i) {
+    const tmh::ExperimentResult& o = results[2 * i];
+    const tmh::ExperimentResult& b = results[2 * i + 1];
     const double o_exec = tmh::ToSeconds(o.app.times.Execution());
     const double b_exec = tmh::ToSeconds(b.app.times.Execution());
-    table.AddRow({std::to_string(disks), tmh::FormatDouble(o_exec, 1),
+    table.AddRow({std::to_string(disk_counts[i]), tmh::FormatDouble(o_exec, 1),
                   tmh::FormatDouble(b_exec, 1), tmh::FormatDouble(o_exec / b_exec, 1),
                   tmh::FormatDouble(tmh::ToSeconds(b.app.times.io_stall), 1)});
   }

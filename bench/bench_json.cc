@@ -8,17 +8,22 @@
 // tools/bench_regress.py. Committed snapshots live at the repo root as
 // BENCH_*.json.
 //
-// Usage: bench_json [output.json]   (default BENCH_substrate.json; the
-//        document is also printed to stdout)
+// Usage: bench_json [output.json] [--jobs N]   (default BENCH_substrate.json;
+//        the document is also printed to stdout). --jobs sets the parallel
+//        leg of the sweep benchmark (default 8).
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/sweep.h"
 #include "src/runtime/runtime_layer.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
@@ -179,8 +184,70 @@ EndToEndResult Fig07StyleRun(int repeats) {
   return best;
 }
 
+// SweepRunner wall-clock benchmark: the full Figure-7 grid (every workload x
+// every version, scale 0.05) run serially and then on a `jobs`-thread pool.
+// Wall time is machine-dependent, so bench_regress.py reports the delta but
+// does not gate on it; `tables_identical` is the determinism check — the
+// rendered table must not depend on the jobs count.
+struct SweepBenchResult {
+  double serial_wall_s = 0;
+  double parallel_wall_s = 0;
+  int jobs = 0;
+  double speedup = 0;
+  bool tables_identical = false;
+};
+
+std::string RenderSweepTable(const std::vector<ExperimentResult>& results) {
+  ReportTable table({"benchmark", "O", "P", "R", "B"});
+  size_t idx = 0;
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    std::vector<std::string> row = {info.name};
+    for (size_t v = 0; v < AllVersions().size(); ++v) {
+      row.push_back(FormatDouble(ToSeconds(results[idx++].app.times.Execution()), 1));
+    }
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+SweepBenchResult SweepFig07Parallel(int jobs, int repeats) {
+  const double scale = 0.05;
+  std::vector<ExperimentSpec> specs;
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    for (const AppVersion version : AllVersions()) {
+      ExperimentSpec spec;
+      spec.machine.user_memory_bytes =
+          static_cast<int64_t>(static_cast<double>(spec.machine.user_memory_bytes) * scale);
+      spec.workload = info.factory(scale);
+      spec.version = version;
+      specs.push_back(spec);
+    }
+  }
+  auto leg = [&specs, repeats](int leg_jobs, std::string* table_out) {
+    double best = 1e30;
+    for (int r = 0; r < repeats; ++r) {
+      SweepRunner runner(SweepOptions{leg_jobs});  // fresh pool and compile cache per repeat
+      const double start = NowSeconds();
+      const std::vector<ExperimentResult> results = runner.Run(specs);
+      const double elapsed = NowSeconds() - start;
+      best = elapsed < best ? elapsed : best;
+      *table_out = RenderSweepTable(results);
+    }
+    return best;
+  };
+  SweepBenchResult out;
+  out.jobs = jobs;
+  std::string serial_table;
+  std::string parallel_table;
+  out.serial_wall_s = leg(1, &serial_table);
+  out.parallel_wall_s = leg(jobs, &parallel_table);
+  out.speedup = out.serial_wall_s / out.parallel_wall_s;
+  out.tables_identical = serial_table == parallel_table;
+  return out;
+}
+
 void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
-              const EndToEndResult& e2e) {
+              const EndToEndResult& e2e, const SweepBenchResult& sweep) {
   std::fprintf(f, "{\n  \"schema\": \"tmh-bench-v1\",\n  \"benchmarks\": [\n");
   for (const BenchResult& r : results) {
     std::fprintf(f,
@@ -190,9 +257,15 @@ void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
   }
   std::fprintf(f,
                "    {\"name\": \"fig07_matvec_b\", \"wall_s\": %.4f, \"sim_events\": %" PRIu64
-               ", \"sim_events_per_s\": %.0f, \"completed\": %s}\n",
+               ", \"sim_events_per_s\": %.0f, \"completed\": %s},\n",
                e2e.wall_s, e2e.sim_events, e2e.sim_events_per_s,
                e2e.completed ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"sweep_fig07_parallel\", \"wall_s\": %.4f, "
+               "\"serial_wall_s\": %.4f, \"jobs\": %d, \"speedup\": %.2f, "
+               "\"tables_identical\": %s}\n",
+               sweep.parallel_wall_s, sweep.serial_wall_s, sweep.jobs, sweep.speedup,
+               sweep.tables_identical ? "true" : "false");
   std::fprintf(f, "  ]\n}\n");
 }
 
@@ -200,7 +273,24 @@ void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
 }  // namespace tmh
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_substrate.json";
+  const char* out_path = "BENCH_substrate.json";
+  int jobs = 8;
+  bool have_path = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) < 1) {
+        std::fprintf(stderr, "bench_json: --jobs requires a value >= 1\n");
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+    } else if (!have_path) {
+      out_path = argv[i];
+      have_path = true;
+    } else {
+      std::fprintf(stderr, "bench_json: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
 
   std::vector<tmh::BenchResult> results;
   results.push_back(tmh::EventQueueScheduleRun(10000, 5));
@@ -209,14 +299,15 @@ int main(int argc, char** argv) {
   results.push_back(tmh::FreeListChurn(4800, 100000, 5));
   results.push_back(tmh::HintFiltering(100000, 5));
   const tmh::EndToEndResult e2e = tmh::Fig07StyleRun(3);
+  const tmh::SweepBenchResult sweep = tmh::SweepFig07Parallel(jobs, 2);
 
-  tmh::EmitJson(stdout, results, e2e);
+  tmh::EmitJson(stdout, results, e2e, sweep);
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out_path);
     return 1;
   }
-  tmh::EmitJson(f, results, e2e);
+  tmh::EmitJson(f, results, e2e, sweep);
   std::fclose(f);
   return 0;
 }

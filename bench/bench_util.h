@@ -4,30 +4,56 @@
 // (0, 1], default 1.0 (paper scale). Smaller scales shrink both the data sets
 // and the machine proportionally, preserving the out-of-core ratio, for quick
 // looks at the shapes.
+//
+// Binaries whose experiment grid runs on a SweepRunner additionally accept
+// `--jobs N` (default: all cores). Results are always collected in submission
+// order and rendered on the main thread, so the printed tables are
+// byte-identical for every jobs value.
 
 #ifndef TMH_BENCH_BENCH_UTIL_H_
 #define TMH_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/sweep.h"
 #include "src/workloads/workloads.h"
 
 namespace tmh {
 
 struct BenchArgs {
   double scale = 1.0;
+  int jobs = 0;  // sweep worker threads; 0 = all cores
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
-  if (argc > 1) {
-    args.scale = std::atof(argv[1]);
-    if (args.scale <= 0.0 || args.scale > 1.0) {
-      std::fprintf(stderr, "scale must be in (0, 1]; got %s\n", argv[1]);
+  bool have_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs requires a value\n");
+        std::exit(2);
+      }
+      args.jobs = std::atoi(argv[++i]);
+      if (args.jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0; got %s\n", argv[i]);
+        std::exit(2);
+      }
+    } else if (!have_scale) {
+      args.scale = std::atof(argv[i]);
+      have_scale = true;
+      if (args.scale <= 0.0 || args.scale > 1.0) {
+        std::fprintf(stderr, "scale must be in (0, 1]; got %s\n", argv[i]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s' (usage: [scale] [--jobs N])\n", argv[i]);
       std::exit(2);
     }
   }
@@ -42,19 +68,43 @@ inline MachineConfig BenchMachine(double scale) {
   return config;
 }
 
-inline ExperimentResult RunBench(const WorkloadInfo& info, double scale, AppVersion version,
-                                 bool with_interactive, SimDuration sleep = 5 * kSec) {
+// The spec RunBench builds, exposed so grids can be batched onto a
+// SweepRunner instead of run one at a time.
+inline ExperimentSpec BenchSpec(const WorkloadInfo& info, double scale, AppVersion version,
+                                bool with_interactive, SimDuration sleep = 5 * kSec) {
   ExperimentSpec spec;
   spec.machine = BenchMachine(scale);
   spec.workload = info.factory(scale);
   spec.version = version;
   spec.with_interactive = with_interactive;
   spec.interactive.sleep_time = sleep;
-  const ExperimentResult result = RunExperiment(spec);
+  return spec;
+}
+
+inline void WarnIncomplete(const std::string& label, const ExperimentResult& result) {
   if (!result.completed) {
-    std::fprintf(stderr, "WARNING: %s/%s did not complete within the event budget\n",
-                 info.name.c_str(), VersionLabel(version));
+    std::fprintf(stderr, "WARNING: %s did not complete within the event budget\n",
+                 label.c_str());
   }
+}
+
+// Fans the grid out over the runner's pool and reports incompletions (on
+// stderr, in submission order) once the pool has joined.
+inline std::vector<ExperimentResult> RunBenchSweep(SweepRunner& runner,
+                                                   const std::vector<ExperimentSpec>& specs,
+                                                   const std::vector<std::string>& labels) {
+  std::vector<ExperimentResult> results = runner.Run(specs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    WarnIncomplete(i < labels.size() ? labels[i] : "experiment", results[i]);
+  }
+  return results;
+}
+
+inline ExperimentResult RunBench(const WorkloadInfo& info, double scale, AppVersion version,
+                                 bool with_interactive, SimDuration sleep = 5 * kSec) {
+  const ExperimentResult result = RunExperiment(BenchSpec(info, scale, version,
+                                                          with_interactive, sleep));
+  WarnIncomplete(info.name + "/" + VersionLabel(version), result);
   return result;
 }
 

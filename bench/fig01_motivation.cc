@@ -3,8 +3,13 @@
 // program and the prefetching-only version — the motivating observation that
 // prefetching + global replacement puts the interactive task at a serious
 // disadvantage.
+//
+// The whole grid — six alone-baselines plus twelve experiments — runs on one
+// SweepRunner task batch (--jobs N); rows are assembled afterwards on the
+// main thread, so the output is byte-identical to the serial run.
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -21,22 +26,41 @@ int main(int argc, char** argv) {
                                                 20 * tmh::kSec};
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
 
-  std::vector<std::vector<double>> rows;
-  for (const tmh::SimDuration sleep : sleeps) {
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  std::vector<tmh::InteractiveMetrics> alone(sleeps.size());
+  std::vector<tmh::ExperimentResult> with_o(sleeps.size());
+  std::vector<tmh::ExperimentResult> with_p(sleeps.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    const tmh::SimDuration sleep = sleeps[i];
     // Baseline: the interactive task alone on the machine.
-    tmh::InteractiveConfig config;
-    config.sleep_time = sleep;
-    const tmh::InteractiveMetrics alone =
-        tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
-    const tmh::ExperimentResult with_o =
-        tmh::RunBench(matvec, args.scale, tmh::AppVersion::kOriginal, true, sleep);
-    const tmh::ExperimentResult with_p =
-        tmh::RunBench(matvec, args.scale, tmh::AppVersion::kPrefetch, true, sleep);
-    rows.push_back({tmh::ToSeconds(sleep), alone.mean_response_ns / 1e6,
-                    with_o.interactive->mean_response_ns / 1e6,
-                    with_p.interactive->mean_response_ns / 1e6,
-                    with_o.interactive->mean_fault_service_ns / 1e6,
-                    with_p.interactive->mean_fault_service_ns / 1e6});
+    tasks.push_back([&, i, sleep] {
+      tmh::InteractiveConfig config;
+      config.sleep_time = sleep;
+      alone[i] = tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
+    });
+    tasks.push_back([&, i, sleep] {
+      with_o[i] = tmh::RunExperiment(
+          tmh::BenchSpec(matvec, args.scale, tmh::AppVersion::kOriginal, true, sleep),
+          &runner.compile_cache());
+    });
+    tasks.push_back([&, i, sleep] {
+      with_p[i] = tmh::RunExperiment(
+          tmh::BenchSpec(matvec, args.scale, tmh::AppVersion::kPrefetch, true, sleep),
+          &runner.compile_cache());
+    });
+  }
+  runner.RunTasks(std::move(tasks));
+
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    tmh::WarnIncomplete(matvec.name + "/O", with_o[i]);
+    tmh::WarnIncomplete(matvec.name + "/P", with_p[i]);
+    rows.push_back({tmh::ToSeconds(sleeps[i]), alone[i].mean_response_ns / 1e6,
+                    with_o[i].interactive->mean_response_ns / 1e6,
+                    with_p[i].interactive->mean_response_ns / 1e6,
+                    with_o[i].interactive->mean_fault_service_ns / 1e6,
+                    with_p[i].interactive->mean_fault_service_ns / 1e6});
   }
   tmh::PrintSeries("mean interactive response time (ms) vs sleep time (s)",
                    {"sleep_s", "alone_ms", "with_original_ms", "with_prefetch_ms",

@@ -2,6 +2,10 @@
 // original program, broken into user / system / resource-stall / I/O-stall
 // components, for versions O (original), P (prefetch), R (+aggressive
 // release), B (+release buffering).
+//
+// The 6x4 grid runs on a SweepRunner (all cores by default; --jobs N to
+// override); the table is rendered from the in-order results afterwards, so
+// the output is byte-identical to the serial run.
 
 #include <cstdio>
 
@@ -11,13 +15,24 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Figure 7: normalized execution time breakdown", args.scale);
 
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const tmh::AppVersion version : tmh::AllVersions()) {
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false));
+      labels.push_back(info.name + "/" + tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"benchmark", "ver", "exec(s)", "norm", "user", "system", "res-stall",
                           "io-stall", "hard-faults"});
+  size_t idx = 0;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     double base = 0;
     for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(info, args.scale, version, /*with_interactive=*/false);
+      const tmh::ExperimentResult& result = results[idx++];
       const tmh::TimeBreakdown& t = result.app.times;
       const double exec = tmh::ToSeconds(t.Execution());
       if (version == tmh::AppVersion::kOriginal) {

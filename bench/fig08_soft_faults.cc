@@ -1,5 +1,8 @@
 // Figure 8: soft page faults caused by the paging daemon's periodic
 // invalidations (software reference-bit simulation), per benchmark version.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -9,13 +12,23 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Figure 8: soft page faults from reference-bit invalidations", args.scale);
 
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const tmh::AppVersion version : tmh::AllVersions()) {
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false));
+      labels.push_back(info.name + "/" + tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"benchmark", "O", "P", "R", "B"});
+  size_t idx = 0;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     std::vector<std::string> row = {info.name};
-    for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(info, args.scale, version, /*with_interactive=*/false);
-      row.push_back(tmh::FormatCount(result.app.faults.soft_faults));
+    for (size_t v = 0; v < tmh::AllVersions().size(); ++v) {
+      row.push_back(tmh::FormatCount(results[idx++].app.faults.soft_faults));
     }
     table.AddRow(row);
   }

@@ -1,6 +1,9 @@
 // Figure 9: breakdown of outcomes for freed pages — what fraction were freed
 // by the paging daemon vs by explicit releases, and how many of each were
 // rescued from the free list (freed too early).
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -10,12 +13,23 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Figure 9: breakdown of outcomes for freed pages", args.scale);
 
-  tmh::ReportTable table({"benchmark", "ver", "freed-daemon", "freed-release", "%release",
-                          "rescued-of-daemon", "rescued-of-release", "%rescued"});
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(info, args.scale, version, /*with_interactive=*/false);
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false));
+      labels.push_back(info.name + "/" + tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
+  tmh::ReportTable table({"benchmark", "ver", "freed-daemon", "freed-release", "%release",
+                          "rescued-of-daemon", "rescued-of-release", "%rescued"});
+  size_t idx = 0;
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const tmh::AppVersion version : tmh::AllVersions()) {
+      const tmh::ExperimentResult& result = results[idx++];
       const double stolen = static_cast<double>(result.kernel.daemon_pages_stolen);
       const double released = static_cast<double>(result.kernel.releaser_pages_freed);
       const double total = stolen + released;

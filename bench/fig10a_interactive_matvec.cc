@@ -1,8 +1,13 @@
 // Figure 10(a): average interactive response time across sleep times when
 // running concurrently with each version of MATVEC, against the
 // alone-on-the-machine baseline.
+//
+// The grid — five alone-baselines plus 5x4 experiments — runs on one
+// SweepRunner task batch (--jobs N); rows are assembled afterwards on the
+// main thread, so the output is byte-identical to the serial run.
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -15,17 +20,35 @@ int main(int argc, char** argv) {
   const std::vector<tmh::SimDuration> sleeps = {1 * tmh::kSec, 2 * tmh::kSec, 5 * tmh::kSec,
                                                 10 * tmh::kSec, 20 * tmh::kSec};
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
+  const std::vector<tmh::AppVersion>& versions = tmh::AllVersions();
+
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  std::vector<tmh::InteractiveMetrics> alone(sleeps.size());
+  std::vector<tmh::ExperimentResult> with_version(sleeps.size() * versions.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    const tmh::SimDuration sleep = sleeps[i];
+    tasks.push_back([&, i, sleep] {
+      tmh::InteractiveConfig config;
+      config.sleep_time = sleep;
+      alone[i] = tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
+    });
+    for (size_t v = 0; v < versions.size(); ++v) {
+      const tmh::AppVersion version = versions[v];
+      tasks.push_back([&, i, v, sleep, version] {
+        with_version[i * versions.size() + v] = tmh::RunExperiment(
+            tmh::BenchSpec(matvec, args.scale, version, true, sleep), &runner.compile_cache());
+      });
+    }
+  }
+  runner.RunTasks(std::move(tasks));
 
   std::vector<std::vector<double>> rows;
-  for (const tmh::SimDuration sleep : sleeps) {
-    tmh::InteractiveConfig config;
-    config.sleep_time = sleep;
-    const tmh::InteractiveMetrics alone =
-        tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
-    std::vector<double> row = {tmh::ToSeconds(sleep), alone.mean_response_ns / 1e6};
-    for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(matvec, args.scale, version, true, sleep);
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    std::vector<double> row = {tmh::ToSeconds(sleeps[i]), alone[i].mean_response_ns / 1e6};
+    for (size_t v = 0; v < versions.size(); ++v) {
+      const tmh::ExperimentResult& result = with_version[i * versions.size() + v];
+      tmh::WarnIncomplete(matvec.name + "/" + tmh::VersionLabel(versions[v]), result);
       row.push_back(result.interactive->mean_response_ns / 1e6);
     }
     rows.push_back(row);

@@ -1,5 +1,8 @@
 // Figure 10(b): interactive response time at a five-second sleep, normalized
 // to the task running alone, for every benchmark and version.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -15,14 +18,24 @@ int main(int argc, char** argv) {
       tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
   std::printf("baseline (alone): %.2f ms mean response\n\n", alone.mean_response_ns / 1e6);
 
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const tmh::AppVersion version : tmh::AllVersions()) {
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, true, config.sleep_time));
+      labels.push_back(info.name + "/" + tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"benchmark", "O", "P", "R", "B"});
+  size_t idx = 0;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     std::vector<std::string> row = {info.name};
-    for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(info, args.scale, version, true, config.sleep_time);
+    for (size_t v = 0; v < tmh::AllVersions().size(); ++v) {
       row.push_back(tmh::FormatDouble(
-          result.interactive->mean_response_ns / alone.mean_response_ns, 1));
+          results[idx++].interactive->mean_response_ns / alone.mean_response_ns, 1));
     }
     table.AddRow(row);
   }

@@ -1,6 +1,9 @@
 // Figure 10(c): average number of hard page faults (those requiring I/O) the
 // interactive task takes per sweep of its data set, per benchmark version.
 // The maximum is 65: the whole 1 MB data set plus the program page.
+//
+// The grid runs on a SweepRunner (--jobs N); results are rendered in
+// submission order so the table matches the serial run byte for byte.
 
 #include <cstdio>
 
@@ -10,13 +13,23 @@ int main(int argc, char** argv) {
   const tmh::BenchArgs args = tmh::ParseBenchArgs(argc, argv);
   tmh::PrintHeader("Figure 10(c): interactive hard faults per sweep, 5 s sleep", args.scale);
 
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
+    for (const tmh::AppVersion version : tmh::AllVersions()) {
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, true, 5 * tmh::kSec));
+      labels.push_back(info.name + "/" + tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{args.jobs});
+  const std::vector<tmh::ExperimentResult> results = tmh::RunBenchSweep(runner, specs, labels);
+
   tmh::ReportTable table({"benchmark", "O", "P", "R", "B"});
+  size_t idx = 0;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     std::vector<std::string> row = {info.name};
-    for (const tmh::AppVersion version : tmh::AllVersions()) {
-      const tmh::ExperimentResult result =
-          tmh::RunBench(info, args.scale, version, true, 5 * tmh::kSec);
-      row.push_back(tmh::FormatDouble(result.interactive->hard_faults_per_sweep, 1));
+    for (size_t v = 0; v < tmh::AllVersions().size(); ++v) {
+      row.push_back(tmh::FormatDouble(results[idx++].interactive->hard_faults_per_sweep, 1));
     }
     table.AddRow(row);
   }

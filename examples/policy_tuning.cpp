@@ -4,26 +4,33 @@
 // against simply letting the application release its own pages — the paper's
 // argument that application-directed management beats policy tuning.
 //
-//   ./build/examples/policy_tuning [scale]
+// The five configurations run on a SweepRunner (all cores, or --jobs N);
+// results are rendered in submission order so the table matches a serial run
+// byte for byte.
+//
+//   ./build/examples/policy_tuning [scale] [--jobs N]
 
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/sweep.h"
 #include "src/workloads/workloads.h"
 
-namespace {
-
-struct Row {
-  std::string label;
-  tmh::ExperimentResult result;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  double scale = 0.25;
+  int jobs = 0;
+  bool have_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (!have_scale) {
+      scale = std::atof(argv[i]);
+      have_scale = true;
+    }
+  }
   const tmh::WorkloadInfo& matvec = tmh::AllWorkloads()[1];
 
   auto machine_at = [&](int64_t min_freemem, tmh::SimDuration period, double sweep) {
@@ -37,37 +44,42 @@ int main(int argc, char** argv) {
     return machine;
   };
 
-  auto run = [&](const tmh::MachineConfig& machine, tmh::AppVersion version) {
+  auto spec_at = [&](const tmh::MachineConfig& machine, tmh::AppVersion version) {
     tmh::ExperimentSpec spec;
     spec.machine = machine;
     spec.workload = matvec.factory(scale);
     spec.version = version;
     spec.with_interactive = true;
     spec.interactive.sleep_time = 5 * tmh::kSec;
-    return tmh::RunExperiment(spec);
+    return spec;
   };
 
   std::printf("Tuning the OS under MATVEC-P vs letting the app release (scale %.2f)\n\n", scale);
-  std::vector<Row> rows;
-  rows.push_back({"P, default tunables", run(machine_at(64, 250 * tmh::kMsec, 0.25),
-                                             tmh::AppVersion::kPrefetch)});
-  rows.push_back({"P, min_freemem x4", run(machine_at(256, 250 * tmh::kMsec, 0.25),
-                                           tmh::AppVersion::kPrefetch)});
-  rows.push_back({"P, daemon 4x faster", run(machine_at(64, 60 * tmh::kMsec, 0.25),
-                                             tmh::AppVersion::kPrefetch)});
-  rows.push_back({"P, gentle sweeps (5%)", run(machine_at(64, 250 * tmh::kMsec, 0.05),
-                                               tmh::AppVersion::kPrefetch)});
-  rows.push_back({"B, default tunables", run(machine_at(64, 250 * tmh::kMsec, 0.25),
-                                             tmh::AppVersion::kBuffered)});
+  std::vector<std::string> labels;
+  std::vector<tmh::ExperimentSpec> specs;
+  labels.push_back("P, default tunables");
+  specs.push_back(spec_at(machine_at(64, 250 * tmh::kMsec, 0.25), tmh::AppVersion::kPrefetch));
+  labels.push_back("P, min_freemem x4");
+  specs.push_back(spec_at(machine_at(256, 250 * tmh::kMsec, 0.25), tmh::AppVersion::kPrefetch));
+  labels.push_back("P, daemon 4x faster");
+  specs.push_back(spec_at(machine_at(64, 60 * tmh::kMsec, 0.25), tmh::AppVersion::kPrefetch));
+  labels.push_back("P, gentle sweeps (5%)");
+  specs.push_back(spec_at(machine_at(64, 250 * tmh::kMsec, 0.05), tmh::AppVersion::kPrefetch));
+  labels.push_back("B, default tunables");
+  specs.push_back(spec_at(machine_at(64, 250 * tmh::kMsec, 0.25), tmh::AppVersion::kBuffered));
+
+  tmh::SweepRunner runner(tmh::SweepOptions{jobs});
+  const std::vector<tmh::ExperimentResult> results = runner.Run(specs);
 
   tmh::ReportTable table({"configuration", "app exec", "interactive response",
                           "interactive hf/sweep", "daemon stolen"});
-  for (const Row& row : rows) {
-    table.AddRow({row.label,
-                  tmh::FormatSeconds(tmh::ToSeconds(row.result.app.times.Execution())),
-                  tmh::FormatSeconds(row.result.interactive->mean_response_ns / 1e9),
-                  tmh::FormatDouble(row.result.interactive->hard_faults_per_sweep, 1),
-                  tmh::FormatCount(row.result.kernel.daemon_pages_stolen)});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    table.AddRow({labels[i],
+                  tmh::FormatSeconds(tmh::ToSeconds(result.app.times.Execution())),
+                  tmh::FormatSeconds(result.interactive->mean_response_ns / 1e9),
+                  tmh::FormatDouble(result.interactive->hard_faults_per_sweep, 1),
+                  tmh::FormatCount(result.kernel.daemon_pages_stolen)});
   }
   table.Print();
   std::printf(

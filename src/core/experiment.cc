@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/sweep.h"
+
 namespace tmh {
 
 const char* VersionLabel(AppVersion version) {
@@ -82,9 +84,12 @@ InteractiveMetrics CollectInteractive(const InteractiveTask& task, const Thread*
 namespace {
 
 // One launched out-of-core application: everything that must stay alive for
-// the duration of the run.
+// the duration of the run. The compiled program is const and may be shared
+// with concurrent experiments via the CompileCache: the Interpreter only
+// reads it (adaptive re-specialization goes into the Interpreter's private
+// CompiledNest, never back into the program).
 struct LaunchedApp {
-  std::unique_ptr<CompiledProgram> compiled;
+  std::shared_ptr<const CompiledProgram> compiled;
   std::unique_ptr<RuntimeLayer> runtime;
   std::unique_ptr<Interpreter> interp;
   AddressSpace* as = nullptr;
@@ -92,10 +97,15 @@ struct LaunchedApp {
 };
 
 LaunchedApp LaunchApp(Kernel& kernel, const MachineConfig& machine, const MultiAppSpec& spec,
-                      const std::string& name) {
+                      const std::string& name, CompileCache* compile_cache) {
   LaunchedApp app;
-  app.compiled = std::make_unique<CompiledProgram>(
-      CompileVersion(spec.workload, machine, spec.version, spec.adaptive, spec.oracle));
+  if (compile_cache != nullptr) {
+    app.compiled = compile_cache->GetOrCompile(spec.workload, machine, spec.version,
+                                               spec.adaptive, spec.oracle);
+  } else {
+    app.compiled = std::make_shared<const CompiledProgram>(
+        CompileVersion(spec.workload, machine, spec.version, spec.adaptive, spec.oracle));
+  }
   app.as = kernel.CreateAddressSpace(
       name, (app.compiled->layout.total_pages() + spec.workload.text_pages) *
                 machine.page_size_bytes);
@@ -145,7 +155,8 @@ AppMetrics CollectApp(const LaunchedApp& app) {
 
 }  // namespace
 
-MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
+MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
+                                         CompileCache* compile_cache) {
   Kernel kernel(spec.machine);
   if (spec.observe) {
     // Before StartDaemons/LaunchApp so every thread and AS name reaches the
@@ -165,7 +176,7 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
         break;
       }
     }
-    apps.push_back(LaunchApp(kernel, spec.machine, spec.apps[i], name));
+    apps.push_back(LaunchApp(kernel, spec.machine, spec.apps[i], name, compile_cache));
   }
 
   std::unique_ptr<InteractiveTask> interactive;
@@ -233,7 +244,7 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec) {
   return result;
 }
 
-ExperimentResult RunExperiment(const ExperimentSpec& spec) {
+ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile_cache) {
   MultiExperimentSpec multi;
   multi.machine = spec.machine;
   multi.apps.push_back(
@@ -243,7 +254,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   multi.max_events = spec.max_events;
   multi.trace_period = spec.trace_period;
   multi.observe = spec.observe;
-  MultiExperimentResult inner = RunMultiExperiment(multi);
+  MultiExperimentResult inner = RunMultiExperiment(multi, compile_cache);
 
   ExperimentResult result;
   result.app = std::move(inner.apps.front());

@@ -28,6 +28,10 @@
 
 namespace tmh {
 
+// Sweep-scoped memoization of CompileVersion (src/core/sweep.h). Experiments
+// run standalone when none is supplied.
+class CompileCache;
+
 // The paper's four treatment levels, plus kReactive — the VINO-style
 // OS-pulls-victims alternative of Section 2.2, implemented for comparison
 // (label "V"; not part of the paper's bars).
@@ -107,7 +111,10 @@ struct ExperimentResult {
 };
 
 // Runs one out-of-core experiment to completion of the out-of-core app.
-ExperimentResult RunExperiment(const ExperimentSpec& spec);
+// `compile_cache` (optional) memoizes CompileVersion across runs; the cached
+// CompiledProgram is immutable and may be shared by concurrent experiments
+// (the Interpreter only reads it — see src/core/sweep.h).
+ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile_cache = nullptr);
 
 // --- multiprogrammed experiments -------------------------------------------------
 // Several out-of-core applications sharing the machine (the paper's stated
@@ -145,8 +152,9 @@ struct MultiExperimentResult {
   bool completed = false;  // every app finished within the event budget
 };
 
-// Runs until every out-of-core app completes.
-MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec);
+// Runs until every out-of-core app completes. `compile_cache` as above.
+MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
+                                         CompileCache* compile_cache = nullptr);
 
 // Baseline: the interactive task alone on the machine for `sweeps` sweeps.
 InteractiveMetrics RunInteractiveAlone(const MachineConfig& machine,

@@ -1,0 +1,289 @@
+// SweepRunner / CompileCache: the parallel sweep engine must be a pure
+// performance optimization — every observable output (stats, metrics text,
+// event logs, rendered tables) byte-identical to the serial run, for any jobs
+// count, with observed runs never sharing observability state.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/sweep.h"
+#include "src/workloads/extra.h"
+#include "src/workloads/workloads.h"
+
+namespace tmh {
+namespace {
+
+constexpr double kScale = 0.05;
+
+MachineConfig TestMachine() {
+  MachineConfig config;
+  config.user_memory_bytes =
+      static_cast<int64_t>(static_cast<double>(config.user_memory_bytes) * kScale);
+  return config;
+}
+
+// The satellite grid from the issue: two workloads x three versions.
+std::vector<ExperimentSpec> TestGrid(bool observe) {
+  std::vector<ExperimentSpec> specs;
+  for (const char* name : {"EMBAR", "CGM"}) {
+    const WorkloadInfo* info = FindWorkload(name);
+    for (const AppVersion version :
+         {AppVersion::kOriginal, AppVersion::kRelease, AppVersion::kBuffered}) {
+      ExperimentSpec spec;
+      spec.machine = TestMachine();
+      spec.workload = info->factory(kScale);
+      spec.version = version;
+      spec.observe = observe;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+// A fig07-style table over the grid, rendered to a string.
+std::string RenderTable(const std::vector<ExperimentResult>& results) {
+  ReportTable table({"run", "exec(s)", "io-stall(s)", "hard-faults", "swap-reads"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.AddRow({std::to_string(i),
+                  FormatDouble(ToSeconds(results[i].app.times.Execution()), 1),
+                  FormatDouble(ToSeconds(results[i].app.times.io_stall), 1),
+                  FormatCount(results[i].app.faults.hard_faults),
+                  FormatCount(results[i].swap_reads)});
+  }
+  return table.ToString();
+}
+
+TEST(SweepRunnerTest, DeterministicAcrossJobCounts) {
+  const std::vector<ExperimentSpec> specs = TestGrid(/*observe=*/true);
+
+  SweepRunner serial(SweepOptions{1});
+  const std::vector<ExperimentResult> a = serial.Run(specs);
+  SweepRunner parallel(SweepOptions{8});
+  const std::vector<ExperimentResult> b = parallel.Run(specs);
+
+  ASSERT_EQ(a.size(), specs.size());
+  ASSERT_EQ(b.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].app.times.Execution(), b[i].app.times.Execution());
+    EXPECT_EQ(a[i].app.times.io_stall, b[i].app.times.io_stall);
+    EXPECT_EQ(a[i].app.faults.hard_faults, b[i].app.faults.hard_faults);
+    EXPECT_EQ(a[i].kernel.daemon_pages_stolen, b[i].kernel.daemon_pages_stolen);
+    EXPECT_EQ(a[i].kernel.releaser_pages_freed, b[i].kernel.releaser_pages_freed);
+    EXPECT_EQ(a[i].swap_reads, b[i].swap_reads);
+    EXPECT_EQ(a[i].swap_writes, b[i].swap_writes);
+    EXPECT_EQ(a[i].sim_events, b[i].sim_events);
+    // Observability must be byte-identical, not merely statistically close.
+    EXPECT_EQ(a[i].metrics_text, b[i].metrics_text);
+    EXPECT_EQ(a[i].event_log.events(), b[i].event_log.events());
+  }
+  EXPECT_EQ(RenderTable(a), RenderTable(b));
+}
+
+TEST(SweepRunnerTest, SubmissionOrderMatchesSerialLoop) {
+  const std::vector<ExperimentSpec> specs = TestGrid(/*observe=*/false);
+
+  std::vector<ExperimentResult> reference;
+  for (const ExperimentSpec& spec : specs) {
+    reference.push_back(RunExperiment(spec));
+  }
+  SweepRunner runner(SweepOptions{4});
+  const std::vector<ExperimentResult> swept = runner.Run(specs);
+
+  ASSERT_EQ(swept.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    EXPECT_EQ(swept[i].app.times.Execution(), reference[i].app.times.Execution());
+    EXPECT_EQ(swept[i].swap_reads, reference[i].swap_reads);
+    EXPECT_EQ(swept[i].sim_events, reference[i].sim_events);
+  }
+}
+
+// Two concurrently observed runs must record into independent EventLogs and
+// MetricsRegistries: each parallel log is exactly the log the same spec
+// produces when run alone, so events can never interleave across runs.
+TEST(SweepRunnerTest, ObservedRunsNeverInterleave) {
+  std::vector<ExperimentSpec> specs;
+  for (const char* name : {"EMBAR", "CGM"}) {
+    ExperimentSpec spec;
+    spec.machine = TestMachine();
+    spec.workload = FindWorkload(name)->factory(kScale);
+    spec.version = AppVersion::kBuffered;
+    spec.observe = true;
+    specs.push_back(spec);
+  }
+
+  SweepRunner runner(SweepOptions{2});
+  const std::vector<ExperimentResult> swept = runner.Run(specs);
+
+  ASSERT_EQ(swept.size(), 2u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].workload.name);
+    const ExperimentResult alone = RunExperiment(specs[i]);
+    ASSERT_TRUE(swept[i].event_log.enabled());
+    EXPECT_FALSE(swept[i].event_log.events().empty());
+    EXPECT_EQ(swept[i].event_log.events(), alone.event_log.events());
+    EXPECT_EQ(swept[i].metrics_text, alone.metrics_text);
+  }
+  // Distinct logs, not two views of one buffer.
+  EXPECT_NE(swept[0].event_log.events().data(), swept[1].event_log.events().data());
+  EXPECT_NE(swept[0].event_log.events(), swept[1].event_log.events());
+}
+
+TEST(SweepRunnerTest, RunTasksPropagatesExceptions) {
+  for (const int jobs : {1, 4}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    SweepRunner runner(SweepOptions{jobs});
+    std::vector<std::function<void()>> tasks;
+    tasks.emplace_back([] {});
+    tasks.emplace_back([] { throw std::runtime_error("boom"); });
+    tasks.emplace_back([] {});
+    EXPECT_THROW(runner.RunTasks(std::move(tasks)), std::runtime_error);
+  }
+}
+
+TEST(SweepRunnerTest, MultiExperimentsDeterministicAcrossJobCounts) {
+  std::vector<MultiExperimentSpec> specs;
+  for (const AppVersion version : {AppVersion::kOriginal, AppVersion::kBuffered}) {
+    MultiExperimentSpec spec;
+    spec.machine = TestMachine();
+    for (const char* name : {"EMBAR", "CGM"}) {
+      MultiAppSpec app;
+      app.workload = FindWorkload(name)->factory(kScale);
+      app.version = version;
+      spec.apps.push_back(app);
+    }
+    spec.observe = true;
+    specs.push_back(spec);
+  }
+
+  SweepRunner serial(SweepOptions{1});
+  const std::vector<MultiExperimentResult> a = serial.RunMulti(specs);
+  SweepRunner parallel(SweepOptions{4});
+  const std::vector<MultiExperimentResult> b = parallel.RunMulti(specs);
+
+  ASSERT_EQ(a.size(), specs.size());
+  ASSERT_EQ(b.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("multi-run " + std::to_string(i));
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    ASSERT_EQ(a[i].apps.size(), b[i].apps.size());
+    for (size_t j = 0; j < a[i].apps.size(); ++j) {
+      EXPECT_EQ(a[i].apps[j].times.Execution(), b[i].apps[j].times.Execution());
+      EXPECT_EQ(a[i].apps[j].faults.hard_faults, b[i].apps[j].faults.hard_faults);
+    }
+    EXPECT_EQ(a[i].swap_reads, b[i].swap_reads);
+    EXPECT_EQ(a[i].sim_events, b[i].sim_events);
+    EXPECT_EQ(a[i].metrics_text, b[i].metrics_text);
+    EXPECT_EQ(a[i].event_log.events(), b[i].event_log.events());
+  }
+}
+
+TEST(CompileCacheTest, VersionsWithIdenticalOptionsShareOneProgram) {
+  const WorkloadInfo* embar = FindWorkload("EMBAR");
+  const SourceProgram source = embar->factory(kScale);
+  const MachineConfig machine = TestMachine();
+
+  CompileCache cache;
+  const auto released = cache.GetOrCompile(source, machine, AppVersion::kRelease);
+  const auto buffered = cache.GetOrCompile(source, machine, AppVersion::kBuffered);
+  const auto reactive = cache.GetOrCompile(source, machine, AppVersion::kReactive);
+  // R, B and V differ only in RuntimeOptions, not compiler output.
+  EXPECT_EQ(released.get(), buffered.get());
+  EXPECT_EQ(released.get(), reactive.get());
+
+  const auto original = cache.GetOrCompile(source, machine, AppVersion::kOriginal);
+  const auto prefetch = cache.GetOrCompile(source, machine, AppVersion::kPrefetch);
+  EXPECT_NE(original.get(), released.get());
+  EXPECT_NE(prefetch.get(), released.get());
+  EXPECT_NE(original.get(), prefetch.get());
+
+  const CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(CompileCacheTest, KeyDistinguishesMachineAndFlags) {
+  const WorkloadInfo* embar = FindWorkload("EMBAR");
+  const SourceProgram source = embar->factory(kScale);
+  const MachineConfig machine = TestMachine();
+
+  CompileCache cache;
+  const auto plain = cache.GetOrCompile(source, machine, AppVersion::kBuffered);
+  const auto oracle =
+      cache.GetOrCompile(source, machine, AppVersion::kBuffered, /*adaptive=*/false,
+                         /*oracle=*/true);
+  EXPECT_NE(plain.get(), oracle.get());
+
+  MachineConfig smaller = machine;
+  smaller.user_memory_bytes /= 2;
+  const auto tighter = cache.GetOrCompile(source, smaller, AppVersion::kBuffered);
+  EXPECT_NE(plain.get(), tighter.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+// The compiler never reads index-array contents, but the interpreter does (it
+// executes a[b[i]] through the program's embedded source). Two workloads that
+// differ only in those contents must therefore not share a cached program.
+TEST(CompileCacheTest, KeyHashesIndexArrayContents) {
+  const WorkloadInfo* buk = FindWorkload("BUK");
+  const SourceProgram source = buk->factory(kScale);
+  SourceProgram mutated = source;
+  bool found_index_array = false;
+  for (ArrayDecl& array : mutated.arrays) {
+    if (array.index_values != nullptr && !array.index_values->empty()) {
+      // Deep-copy before mutating: the factory hands out shared_ptr state.
+      array.index_values = std::make_shared<std::vector<int64_t>>(*array.index_values);
+      array.index_values->front() ^= 1;
+      found_index_array = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_index_array) << "BUK no longer carries index arrays";
+
+  CompileCache cache;
+  const auto a = cache.GetOrCompile(source, TestMachine(), AppVersion::kBuffered);
+  const auto b = cache.GetOrCompile(mutated, TestMachine(), AppVersion::kBuffered);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CompileCacheTest, CachedProgramsProduceIdenticalResults) {
+  const WorkloadInfo* embar = FindWorkload("EMBAR");
+  ExperimentSpec spec;
+  spec.machine = TestMachine();
+  spec.workload = embar->factory(kScale);
+  spec.version = AppVersion::kBuffered;
+
+  const ExperimentResult uncached = RunExperiment(spec);
+  CompileCache cache;
+  const ExperimentResult first = RunExperiment(spec, &cache);
+  const ExperimentResult second = RunExperiment(spec, &cache);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  EXPECT_EQ(uncached.app.times.Execution(), first.app.times.Execution());
+  EXPECT_EQ(first.app.times.Execution(), second.app.times.Execution());
+  EXPECT_EQ(uncached.swap_reads, first.swap_reads);
+  EXPECT_EQ(uncached.sim_events, second.sim_events);
+}
+
+TEST(SweepRunnerTest, JobsResolution) {
+  EXPECT_GE(DefaultJobs(), 1);
+  SweepRunner defaulted;
+  EXPECT_EQ(defaulted.jobs(), DefaultJobs());
+  SweepRunner pinned(SweepOptions{3});
+  EXPECT_EQ(pinned.jobs(), 3);
+}
+
+}  // namespace
+}  // namespace tmh

@@ -51,14 +51,17 @@ def validate(doc):
             errors.append("benchmark missing name")
             continue
         # Micro-kernels report ns/op + items/s; end-to-end runs report
-        # sim-events/s. Either set of rate fields is acceptable.
+        # sim-events/s; wall-clock-only entries (e.g. sweep_fig07_parallel)
+        # report just wall_s. Any of the three field sets is acceptable.
         has_micro = isinstance(b.get("ns_per_op"), (int, float)) and isinstance(
             b.get("items_per_s"), (int, float)
         )
         has_e2e = isinstance(b.get("sim_events_per_s"), (int, float))
-        if not (has_micro or has_e2e):
-            errors.append(f"{name}: no ns_per_op/items_per_s or sim_events_per_s")
-        for key in ("ns_per_op", "items_per_s", "sim_events_per_s", "wall_s"):
+        has_wall = isinstance(b.get("wall_s"), (int, float))
+        if not (has_micro or has_e2e or has_wall):
+            errors.append(f"{name}: no ns_per_op/items_per_s, sim_events_per_s, or wall_s")
+        for key in ("ns_per_op", "items_per_s", "sim_events_per_s", "wall_s",
+                    "serial_wall_s"):
             v = b.get(key)
             if v is not None and (not isinstance(v, (int, float)) or v <= 0):
                 errors.append(f"{name}: {key} must be a positive number, got {v!r}")
@@ -66,19 +69,23 @@ def validate(doc):
 
 
 def rate_of(bench):
-    """Higher-is-better throughput for any benchmark entry."""
+    """Higher-is-better throughput, or (None, None) for wall-clock-only entries."""
     # A key explicitly set to null means "not measured": fall through to the
     # micro-kernel rate rather than crashing on float(None).
     v = bench.get("sim_events_per_s")
     if v is not None:
         return float(v), "sim-events/s"
-    return float(bench["items_per_s"]), "items/s"
+    v = bench.get("items_per_s")
+    if v is not None:
+        return float(v), "items/s"
+    return None, None
 
 
 def compare(baseline, candidate, threshold_pct, allow_missing=False):
     base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
     worst = 0.0
     failed = []
+    wall_notes = []
     print(f"{'benchmark':32} {'base':>14} {'cand':>14} {'ratio':>8}")
     for cand in candidate["benchmarks"]:
         name = cand["name"]
@@ -88,6 +95,19 @@ def compare(baseline, candidate, threshold_pct, allow_missing=False):
             continue
         base_rate, unit = rate_of(base)
         cand_rate, _ = rate_of(cand)
+        base_wall = base.get("wall_s")
+        cand_wall = cand.get("wall_s")
+        if base_wall is not None and cand_wall is not None:
+            # Lower is better for wall clocks; positive delta = got slower.
+            wall_notes.append(
+                f"{name} {(float(cand_wall) / float(base_wall) - 1.0) * 100.0:+.1f}%")
+        if base_rate is None or cand_rate is None:
+            # Wall-clock-only entries are machine-dependent end-to-end timings:
+            # their delta is reported in the summary line but never gated.
+            base_txt = f"{base_wall:.2f}s" if base_wall is not None else "n/a"
+            cand_txt = f"{cand_wall:.2f}s" if cand_wall is not None else "n/a"
+            print(f"{name:32} {base_txt:>14} {cand_txt:>14}   (wall, not gated)")
+            continue
         ratio = cand_rate / base_rate
         flag = ""
         regression_pct = (1.0 - ratio) * 100.0
@@ -105,7 +125,10 @@ def compare(baseline, candidate, threshold_pct, allow_missing=False):
             print(f"{name:32} {'(dropped from candidate)':>24}{flag}")
             if not allow_missing:
                 failed.append(name)
-    print(f"\nworst regression: {worst:.1f}% (threshold {threshold_pct:.0f}%)")
+    summary = f"\nworst regression: {worst:.1f}% (threshold {threshold_pct:.0f}%)"
+    if wall_notes:
+        summary += "; wall-time delta: " + ", ".join(wall_notes)
+    print(summary)
     return failed
 
 

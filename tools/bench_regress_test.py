@@ -3,11 +3,14 @@
 
 Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
 
-  * --validate accepts every fixture (including an explicit null rate);
+  * --validate accepts every fixture (including an explicit null rate and a
+    wall-clock-only entry);
   * a benchmark dropped from the candidate fails the gate (exit 1) and is
     waved through by --allow-missing;
   * "sim_events_per_s": null falls back to items_per_s instead of crashing;
-  * a real throughput regression past the threshold still fails.
+  * a real throughput regression past the threshold still fails;
+  * wall-clock-only entries are reported in the summary's wall-time delta but
+    never gate, even when the wall time balloons.
 
 Usage: bench_regress_test.py [DATA_DIR]   (default: ../tests/data next to
 this script, so it runs both from the source tree and from CTest).
@@ -46,10 +49,11 @@ def main():
     baseline = os.path.join(data, "bench_baseline.json")
     missing = os.path.join(data, "bench_missing.json")
     null_rate = os.path.join(data, "bench_null_rate.json")
+    wall_only = os.path.join(data, "bench_wall_only.json")
 
     failures = 0
 
-    for path in (baseline, missing, null_rate):
+    for path in (baseline, missing, null_rate, wall_only):
         code, out = run_gate("--validate", path)
         failures += check(f"validate {os.path.basename(path)}", code == 0, out)
 
@@ -80,6 +84,24 @@ def main():
                           code == 1 and "REGRESSION" in out, out)
     finally:
         os.unlink(slow)
+
+    # Wall-clock-only entries: the delta shows up in the summary line but a
+    # 4x-slower wall time must not trip the gate (it is machine-dependent).
+    with open(wall_only, encoding="utf-8") as f:
+        doc = json.load(f)
+    for bench in doc["benchmarks"]:
+        if bench["name"] == "sweep_parallel":
+            bench["wall_s"] = bench["wall_s"] * 4
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(doc, f)
+        slow_wall = f.name
+    try:
+        code, out = run_gate(wall_only, slow_wall)
+        failures += check("wall-only slowdown reported but not gated",
+                          code == 0 and "wall-time delta" in out
+                          and "sweep_parallel +300.0%" in out, out)
+    finally:
+        os.unlink(slow_wall)
 
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)

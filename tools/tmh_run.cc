@@ -6,16 +6,23 @@
 //   tmh_run --workload MATVEC --version B --scale 0.25 --interactive
 //           (add --trace /tmp/run.csv for a time-series CSV)
 //
+// --workload and --version also accept comma lists or "all"; more than one
+// combination switches to sweep mode: every combination runs on a SweepRunner
+// thread pool (--jobs N, default all cores) sharing one compile cache, and a
+// one-line-per-run summary table replaces the full metric dump.
+//
 // Run with --help for the full flag list, --list for the workload roster.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/experiment.h"
 #include "src/core/html_report.h"
 #include "src/core/report.h"
+#include "src/core/sweep.h"
 #include "src/workloads/extra.h"
 #include "src/workloads/workloads.h"
 
@@ -40,13 +47,17 @@ struct Flags {
   int prefetch_threads = 8;
   bool drain_newest_first = false;
   bool json = false;
+  int jobs = 0;  // sweep-mode worker threads; 0 = all cores
 };
 
 void PrintUsage() {
   std::printf(
       "tmh_run — run one out-of-core experiment and dump its metrics\n\n"
       "  --workload NAME     workload to run (--list shows the roster; default MATVEC)\n"
+      "                      comma list or \"all\" sweeps every named workload\n"
       "  --version X         O | P | R | B | V (reactive)        [B]\n"
+      "                      comma list or \"all\" (= O,P,R,B) sweeps versions\n"
+      "  --jobs N            sweep-mode worker threads           [all cores]\n"
       "  --scale F           workload+machine scale in (0,1]     [1.0]\n"
       "  --memory-mb N       user memory in MB (overrides scale) [75*scale]\n"
       "  --interactive       run the 1 MB interactive task alongside\n"
@@ -124,6 +135,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->release_batch = std::atoi(next("--batch"));
     } else if (arg == "--threads") {
       flags->prefetch_threads = std::atoi(next("--threads"));
+    } else if (arg == "--jobs") {
+      flags->jobs = std::atoi(next("--jobs"));
+      if (flags->jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0\n");
+        std::exit(2);
+      }
     } else if (arg == "--drain-mru") {
       flags->drain_newest_first = true;
     } else if (arg == "--json") {
@@ -154,6 +171,96 @@ tmh::AppVersion ParseVersion(const std::string& s) {
   if (s == "V") return tmh::AppVersion::kReactive;
   std::fprintf(stderr, "unknown version '%s' (use O, P, R, B, or V)\n", s.c_str());
   std::exit(2);
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+// The experiment a (workload, version) combination maps to under the current
+// flags — shared by the single-run path and sweep mode so both run exactly
+// the same spec.
+tmh::ExperimentSpec SpecFor(const Flags& flags, const tmh::WorkloadInfo& info,
+                            tmh::AppVersion version) {
+  tmh::ExperimentSpec spec;
+  if (flags.memory_mb > 0) {
+    spec.machine.user_memory_bytes = flags.memory_mb * 1024 * 1024;
+  } else {
+    spec.machine.user_memory_bytes = static_cast<int64_t>(
+        static_cast<double>(spec.machine.user_memory_bytes) * flags.scale);
+  }
+  spec.machine.tunables.local_partition_pages = flags.local_partition;
+  spec.workload = info.factory(flags.scale);
+  spec.version = version;
+  spec.adaptive = flags.adaptive;
+  spec.oracle = flags.oracle;
+  spec.with_interactive = flags.interactive;
+  spec.interactive.sleep_time = static_cast<tmh::SimDuration>(flags.sleep_s * tmh::kSec);
+  spec.runtime.release_batch = flags.release_batch;
+  spec.runtime.num_prefetch_threads = flags.prefetch_threads;
+  spec.runtime.drain_newest_first = flags.drain_newest_first;
+  return spec;
+}
+
+// Sweep mode: run every (workload, version) combination on a thread pool with
+// a shared compile cache and print a one-line-per-run summary. Results are
+// merged on the main thread in submission order, so the table is identical
+// for every --jobs value.
+int RunSweep(const Flags& flags, const std::vector<const tmh::WorkloadInfo*>& infos,
+             const std::vector<tmh::AppVersion>& versions) {
+  std::vector<tmh::ExperimentSpec> specs;
+  std::vector<std::string> names;
+  std::vector<std::string> version_labels;
+  for (const tmh::WorkloadInfo* info : infos) {
+    for (const tmh::AppVersion version : versions) {
+      specs.push_back(SpecFor(flags, *info, version));
+      names.push_back(info->name);
+      version_labels.push_back(tmh::VersionLabel(version));
+    }
+  }
+  tmh::SweepRunner runner(tmh::SweepOptions{flags.jobs});
+  std::printf("sweep: %zu runs at scale %.2f on %d worker thread(s)\n\n", specs.size(),
+              flags.scale, runner.jobs());
+  const std::vector<tmh::ExperimentResult> results = runner.Run(specs);
+
+  std::vector<std::string> headers = {"workload", "version", "exec(s)", "io-stall(s)",
+                                      "hard-faults", "swap-reads"};
+  if (flags.interactive) {
+    headers.push_back("interactive(ms)");
+  }
+  headers.push_back("completed");
+  tmh::ReportTable table(headers);
+  bool all_completed = true;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const tmh::ExperimentResult& result = results[i];
+    all_completed = all_completed && result.completed;
+    std::vector<std::string> row = {
+        names[i], version_labels[i],
+        tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
+        tmh::FormatDouble(tmh::ToSeconds(result.app.times.io_stall), 1),
+        tmh::FormatCount(result.app.faults.hard_faults),
+        tmh::FormatCount(result.swap_reads)};
+    if (flags.interactive) {
+      row.push_back(tmh::FormatDouble(result.interactive->mean_response_ns / 1e6, 1));
+    }
+    row.push_back(result.completed ? "yes" : "NO");
+    table.AddRow(row);
+  }
+  table.Print();
+  const tmh::CompileCache::Stats cache = runner.compile_cache().stats();
+  std::printf("\ncompile cache: %llu hit(s), %llu miss(es)\n",
+              (unsigned long long)cache.hits, (unsigned long long)cache.misses);
+  return all_completed ? 0 : 1;
 }
 
 // Machine-readable dump of the headline metrics (stable key names).
@@ -210,30 +317,45 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--scale must be in (0, 1]\n");
     return 2;
   }
-  const tmh::WorkloadInfo* info = tmh::FindWorkload(flags.workload);
-  if (info == nullptr) {
-    std::fprintf(stderr, "unknown workload '%s'; --list shows the roster\n",
-                 flags.workload.c_str());
-    return 2;
+  // Expand --workload / --version lists. "all" covers the paper roster and
+  // the O/P/R/B versions respectively.
+  std::vector<const tmh::WorkloadInfo*> infos;
+  if (flags.workload == "all") {
+    for (const tmh::WorkloadInfo& w : tmh::AllWorkloads()) {
+      infos.push_back(&w);
+    }
+  } else {
+    for (const std::string& name : SplitList(flags.workload)) {
+      const tmh::WorkloadInfo* found = tmh::FindWorkload(name);
+      if (found == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'; --list shows the roster\n", name.c_str());
+        return 2;
+      }
+      infos.push_back(found);
+    }
+  }
+  std::vector<tmh::AppVersion> versions;
+  if (flags.version == "all") {
+    versions = tmh::AllVersions();
+  } else {
+    for (const std::string& v : SplitList(flags.version)) {
+      versions.push_back(ParseVersion(v));
+    }
   }
 
-  tmh::ExperimentSpec spec;
-  if (flags.memory_mb > 0) {
-    spec.machine.user_memory_bytes = flags.memory_mb * 1024 * 1024;
-  } else {
-    spec.machine.user_memory_bytes = static_cast<int64_t>(
-        static_cast<double>(spec.machine.user_memory_bytes) * flags.scale);
+  if (infos.size() * versions.size() > 1) {
+    if (!flags.trace_path.empty() || !flags.html_path.empty() ||
+        !flags.trace_out_path.empty() || !flags.metrics_out_path.empty() || flags.json) {
+      std::fprintf(stderr,
+                   "--trace/--html/--trace-out/--metrics-out/--json need a single "
+                   "workload+version combination\n");
+      return 2;
+    }
+    return RunSweep(flags, infos, versions);
   }
-  spec.machine.tunables.local_partition_pages = flags.local_partition;
-  spec.workload = info->factory(flags.scale);
-  spec.version = ParseVersion(flags.version);
-  spec.adaptive = flags.adaptive;
-  spec.oracle = flags.oracle;
-  spec.with_interactive = flags.interactive;
-  spec.interactive.sleep_time = static_cast<tmh::SimDuration>(flags.sleep_s * tmh::kSec);
-  spec.runtime.release_batch = flags.release_batch;
-  spec.runtime.num_prefetch_threads = flags.prefetch_threads;
-  spec.runtime.drain_newest_first = flags.drain_newest_first;
+
+  const tmh::WorkloadInfo* info = infos[0];
+  tmh::ExperimentSpec spec = SpecFor(flags, *info, versions[0]);
   if (!flags.trace_path.empty() || !flags.html_path.empty()) {
     spec.trace_period = static_cast<tmh::SimDuration>(flags.trace_period_s * tmh::kSec);
   }
