@@ -1,0 +1,88 @@
+// Seeded scenario generation for the differential fuzz harness.
+//
+// A Scenario is a plain value fully derived from a 64-bit seed: a machine
+// configuration (memory size, page size, maxrss, daemon cadence, release
+// policy tunables), a multiprogramming mix of workloads at random treatment
+// levels, and an optional interactive task. The same seed always produces the
+// same scenario, and running a scenario is deterministic, so `tmh_fuzz --seed
+// N` replays exactly — including the first invariant violation, if any.
+//
+// Scenarios stay plain data (not MultiExperimentSpecs) so the shrinker can
+// drop apps and flatten features field-by-field, then re-derive the spec.
+
+#ifndef TMH_SRC_CHECK_FUZZ_SCENARIO_H_
+#define TMH_SRC_CHECK_FUZZ_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+#include "src/core/experiment.h"
+
+namespace tmh {
+
+struct ScenarioOptions {
+  int max_apps = 3;
+  bool allow_interactive = true;
+  // Simulation event budget per scenario (keeps one fuzz iteration short).
+  uint64_t max_events = 40'000'000;
+  // Structural pass cadence handed to the checker (1 = every event).
+  uint64_t full_check_period = 16;
+};
+
+struct FuzzApp {
+  std::string workload;  // registry name (FindWorkload)
+  double scale = 0.05;
+  AppVersion version = AppVersion::kRelease;
+  bool adaptive = false;
+  bool oracle = false;
+  int release_batch = 64;
+  bool drain_newest_first = false;
+  int num_prefetch_threads = 1;
+};
+
+struct Scenario {
+  uint64_t seed = 0;
+  int64_t user_memory_mb = 6;
+  int64_t page_size_kb = 4;
+  // 0 = feature off / machine default.
+  int64_t local_partition_divisor = 0;  // partition = frames / divisor
+  int64_t notify_threshold = 0;
+  int64_t maxrss_divisor = 0;  // maxrss = frames / divisor (tight Eq. 1 clamp)
+  SimDuration daemon_period = 0;
+  bool release_to_tail = true;
+  bool with_interactive = false;
+  SimDuration interactive_sleep = kSec;
+  std::vector<FuzzApp> apps;
+  uint64_t max_events = 40'000'000;
+};
+
+// Derives the scenario for `seed` (pure function of seed and options).
+Scenario MakeScenario(uint64_t seed, const ScenarioOptions& options = {});
+
+// Expands a scenario into a runnable spec (checks not yet enabled; the runner
+// sets spec.checks / spec.check_options).
+MultiExperimentSpec ToSpec(const Scenario& scenario);
+
+// One-line-per-field human description, for failure reports.
+std::string Describe(const Scenario& scenario);
+
+struct ScenarioOutcome {
+  bool completed = false;
+  bool ok = true;
+  std::string failure;      // first invariant violation, empty when ok
+  uint64_t checks_run = 0;
+  uint64_t sim_events = 0;
+  // Stable fingerprint of end-of-run counters: equal digests on two runs of
+  // the same scenario demonstrate deterministic replay.
+  std::string digest;
+};
+
+// Runs the scenario with an InvariantChecker attached.
+ScenarioOutcome RunScenario(const Scenario& scenario, const CheckOptions& check_options);
+ScenarioOutcome RunScenario(const Scenario& scenario);
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_CHECK_FUZZ_SCENARIO_H_

@@ -1,0 +1,374 @@
+#include "src/check/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/os/kernel.h"
+#include "src/os/releaser.h"
+
+namespace tmh {
+namespace {
+
+// True when a page-in is in flight for (as, vpage) on its linked frame: the
+// frame carries the page's identity, is mid-I/O, and does not yet hold valid
+// contents (a writeback in flight has contents_valid == true).
+bool PageInInFlight(const Frame& fr, AsId as, VPage vpage) {
+  return fr.owner == as && fr.vpage == vpage && fr.io_busy && !fr.mapped &&
+         !fr.contents_valid;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(Kernel& kernel, CheckOptions options)
+    : kernel_(&kernel), options_(options) {
+  if (options_.tail > 0) {
+    tail_.resize(options_.tail);
+  }
+  if (options_.full_check_period == 0) {
+    options_.full_check_period = 1;
+  }
+  oracle_.SeedFromKernel(kernel);
+  kernel.AttachChecker(this);
+}
+
+InvariantChecker::~InvariantChecker() { kernel_->AttachChecker(nullptr); }
+
+void InvariantChecker::OnVmEvent(const VmHookEvent& event) {
+  if (!tail_.empty()) {
+    tail_[tail_next_] = event;
+    tail_next_ = (tail_next_ + 1) % tail_.size();
+    tail_wrapped_ = tail_wrapped_ || tail_next_ == 0;
+  }
+  ++events_seen_;
+  ++mutations_since_check_;
+  if (!failure_.empty() || !options_.with_oracle) {
+    return;
+  }
+  oracle_.Apply(event);
+  if (!oracle_.ok()) {
+    Fail(event.when, "oracle", oracle_.failure());
+  }
+}
+
+void InvariantChecker::OnQuiescent(Kernel& kernel) {
+  if (!failure_.empty() || mutations_since_check_ < options_.full_check_period) {
+    return;
+  }
+  mutations_since_check_ = 0;
+  ++checks_run_;
+  MaybeInject(kernel);
+  Validate(kernel);
+}
+
+bool InvariantChecker::CheckNow(Kernel& kernel) {
+  if (failure_.empty()) {
+    mutations_since_check_ = 0;
+    ++checks_run_;
+    Validate(kernel);
+  }
+  return ok();
+}
+
+void InvariantChecker::MaybeInject(Kernel& kernel) {
+  if (injected_ || options_.inject_bitmap_flip_after == 0 ||
+      checks_run_ < options_.inject_bitmap_flip_after) {
+    return;
+  }
+  // Flip the bit of the first materialized page of the first PagingDirected
+  // address space. I-BM fully determines the bit for materialized pages, so
+  // either flip direction is a detectable corruption.
+  for (const auto& as : kernel.address_spaces()) {
+    if (!as->HasPagingDirected()) {
+      continue;
+    }
+    for (VPage v = 0; v < as->num_pages(); ++v) {
+      if (!as->page_table().at(v).ever_materialized) {
+        continue;
+      }
+      if (as->bitmap()->Test(v)) {
+        as->bitmap()->Clear(v);
+      } else {
+        as->bitmap()->Set(v);
+      }
+      injected_ = true;
+      return;
+    }
+  }
+}
+
+void InvariantChecker::Fail(SimTime now, const std::string& invariant,
+                            const std::string& detail) {
+  if (!failure_.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "invariant " << invariant << " violated at t=" << now << "ns: " << detail
+     << "\n  after " << events_seen_ << " VM events, " << checks_run_
+     << " full checks" << TailDump();
+  failure_ = os.str();
+}
+
+std::string InvariantChecker::TailDump() const {
+  if (tail_.empty() || (!tail_wrapped_ && tail_next_ == 0)) {
+    return "";
+  }
+  std::ostringstream os;
+  os << "\n  recent VM events (oldest first):";
+  const size_t count = tail_wrapped_ ? tail_.size() : tail_next_;
+  const size_t start = tail_wrapped_ ? tail_next_ : 0;
+  for (size_t i = 0; i < count; ++i) {
+    const VmHookEvent& e = tail_[(start + i) % tail_.size()];
+    os << "\n    t=" << e.when << " " << VmHookOpName(e.op) << " as=" << e.as
+       << " vpage=" << e.vpage << " frame=" << e.frame << " a=" << e.a << " b=" << e.b;
+  }
+  return os.str();
+}
+
+void InvariantChecker::Validate(Kernel& kernel) {
+  const SimTime now = kernel.Now();
+  const FrameTable& frames = kernel.frames();
+  const FreeList& free_list = kernel.free_list();
+  const int64_t num_frames = frames.size();
+
+  // I-FL: walk the intrusive links into a snapshot and check its structure.
+  const std::vector<FrameId> free_vec = free_list.ToVector();
+  if (static_cast<int64_t>(free_vec.size()) != free_list.size()) {
+    Fail(now, "I-FL",
+         "free-list link walk found " + std::to_string(free_vec.size()) +
+             " frames but size() is " + std::to_string(free_list.size()));
+    return;
+  }
+  std::vector<char> on_free(static_cast<size_t>(num_frames), 0);
+  for (const FrameId f : free_vec) {
+    if (f < 0 || f >= num_frames) {
+      Fail(now, "I-FL", "free list contains out-of-range frame " + std::to_string(f));
+      return;
+    }
+    if (on_free[static_cast<size_t>(f)] != 0) {
+      Fail(now, "I-FL", "free list contains frame " + std::to_string(f) + " twice");
+      return;
+    }
+    on_free[static_cast<size_t>(f)] = 1;
+    const Frame& fr = frames.at(f);
+    if (fr.mapped || fr.io_busy || fr.dirty) {
+      Fail(now, "I-FL",
+           "free frame " + std::to_string(f) + " is " +
+               (fr.mapped ? "mapped" : fr.io_busy ? "io-busy" : "dirty"));
+      return;
+    }
+  }
+
+  // I-FT + I-ONE over the frame table.
+  const auto& address_spaces = kernel.address_spaces();
+  for (FrameId f = 0; f < num_frames; ++f) {
+    const Frame& fr = frames.at(f);
+    if (fr.mapped) {
+      if (fr.owner < 0 || static_cast<size_t>(fr.owner) >= address_spaces.size()) {
+        Fail(now, "I-FT",
+             "mapped frame " + std::to_string(f) + " has invalid owner " +
+                 std::to_string(fr.owner));
+        return;
+      }
+      const AddressSpace& as = *address_spaces[static_cast<size_t>(fr.owner)];
+      if (fr.vpage < 0 || fr.vpage >= as.num_pages()) {
+        Fail(now, "I-FT",
+             "mapped frame " + std::to_string(f) + " has out-of-range vpage " +
+                 std::to_string(fr.vpage));
+        return;
+      }
+      const Pte& pte = as.page_table().at(fr.vpage);
+      if (!pte.resident || pte.frame != f) {
+        Fail(now, "I-FT",
+             "mapped frame " + std::to_string(f) + " (as=" + std::to_string(fr.owner) +
+                 " vpage=" + std::to_string(fr.vpage) + ") not reflected in the PTE");
+        return;
+      }
+      if (fr.io_busy) {
+        Fail(now, "I-ONE", "frame " + std::to_string(f) + " is mapped while io-busy");
+        return;
+      }
+    } else if (on_free[static_cast<size_t>(f)] == 0 && !fr.io_busy) {
+      Fail(now, "I-ONE",
+           "frame " + std::to_string(f) +
+               " is in limbo: not mapped, not free-listed, not io-busy");
+      return;
+    }
+  }
+
+  // I-PT, I-RL, I-RQ, I-BM over each address space.
+  for (const auto& as_ptr : address_spaces) {
+    const AddressSpace& as = *as_ptr;
+    const PageTable& pt = as.page_table();
+    int64_t resident = 0;
+    for (VPage v = 0; v < as.num_pages(); ++v) {
+      const Pte& pte = pt.at(v);
+      if (pte.resident) {
+        ++resident;
+        if (pte.frame < 0 || pte.frame >= num_frames) {
+          Fail(now, "I-PT",
+               "resident page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " has invalid frame " + std::to_string(pte.frame));
+          return;
+        }
+        const Frame& fr = frames.at(pte.frame);
+        if (!fr.mapped || fr.owner != as.id() || fr.vpage != v) {
+          Fail(now, "I-PT",
+               "resident page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " frame=" + std::to_string(pte.frame) +
+                   " does not carry the page's identity");
+          return;
+        }
+        if (!pte.ever_materialized) {
+          Fail(now, "I-PT",
+               "resident page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " was never materialized");
+          return;
+        }
+        if (pte.valid && pte.invalid_reason != InvalidReason::kNone) {
+          Fail(now, "I-PT",
+               "valid page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " carries an invalid_reason");
+          return;
+        }
+      } else {
+        if (pte.valid) {
+          Fail(now, "I-PT",
+               "non-resident page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " is marked valid");
+          return;
+        }
+        if (pte.frame != kNoFrame) {
+          // I-RL: a dangling link must still name a frame with this identity
+          // (AllocateFrame breaks the link before reassigning the frame).
+          if (pte.frame < 0 || pte.frame >= num_frames) {
+            Fail(now, "I-RL",
+                 "rescue link as=" + std::to_string(as.id()) + " vpage=" +
+                     std::to_string(v) + " names invalid frame " +
+                     std::to_string(pte.frame));
+            return;
+          }
+          const Frame& fr = frames.at(pte.frame);
+          if (fr.owner != as.id() || fr.vpage != v) {
+            Fail(now, "I-RL",
+                 "rescue link as=" + std::to_string(as.id()) + " vpage=" +
+                     std::to_string(v) + " frame=" + std::to_string(pte.frame) +
+                     " points at a frame now owned by as=" + std::to_string(fr.owner) +
+                     " vpage=" + std::to_string(fr.vpage));
+            return;
+          }
+        }
+      }
+      if (pte.invalid_reason == InvalidReason::kReleasePending) {
+        if (!pte.resident) {
+          Fail(now, "I-RQ",
+               "release-pending page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) + " is not resident");
+          return;
+        }
+        bool queued = false;
+        for (const Kernel::ReleaseWorkItem& item : kernel.release_work()) {
+          if (item.as == &as && item.vpage == v) {
+            queued = true;
+            break;
+          }
+        }
+        if (!queued && kernel.has_daemons() &&
+            kernel.releaser().batch_as() == &as) {
+          for (const VPage b : kernel.releaser().UnresolvedBatch()) {
+            if (b == v) {
+              queued = true;
+              break;
+            }
+          }
+        }
+        if (!queued) {
+          Fail(now, "I-RQ",
+               "release-pending page as=" + std::to_string(as.id()) + " vpage=" +
+                   std::to_string(v) +
+                   " is neither queued nor in the releaser's unresolved batch");
+          return;
+        }
+      }
+    }
+    if (resident != pt.resident_count()) {
+      Fail(now, "I-PT",
+           "as=" + std::to_string(as.id()) + " resident_count() is " +
+               std::to_string(pt.resident_count()) + " but recount found " +
+               std::to_string(resident));
+      return;
+    }
+
+    if (as.HasPagingDirected()) {
+      // I-BM, for materialized pages only: never-touched pages keep whatever
+      // AttachPagingDirected left (bits outside the attached range are set).
+      // Assumes attachment precedes materialization, as the runtime layer
+      // guarantees.
+      const ResidencyBitmap& bm = *as.bitmap();
+      for (VPage v = 0; v < as.num_pages(); ++v) {
+        const Pte& pte = pt.at(v);
+        if (!pte.ever_materialized) {
+          continue;
+        }
+        bool expect_set = false;
+        if (pte.resident) {
+          expect_set = pte.invalid_reason != InvalidReason::kReleasePending;
+        } else if (pte.frame != kNoFrame) {
+          expect_set = PageInInFlight(frames.at(pte.frame), as.id(), v);
+        }
+        if (bm.Test(v) != expect_set) {
+          Fail(now, "I-BM",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " bitmap bit is " + (bm.Test(v) ? "set" : "clear") +
+                   " but the page state requires " + (expect_set ? "set" : "clear"));
+          return;
+        }
+      }
+    }
+  }
+
+  // Oracle cross-validation: the reference model must agree exactly.
+  if (options_.with_oracle) {
+    const std::deque<FrameId>& ofree = oracle_.free_list();
+    if (ofree.size() != free_vec.size() ||
+        !std::equal(ofree.begin(), ofree.end(), free_vec.begin())) {
+      Fail(now, "oracle", "free-list order differs from the reference model");
+      return;
+    }
+    for (const auto& as_ptr : address_spaces) {
+      const AddressSpace& as = *as_ptr;
+      if (oracle_.ResidentCount(as.id()) != as.page_table().resident_count()) {
+        Fail(now, "oracle",
+             "as=" + std::to_string(as.id()) + " resident count " +
+                 std::to_string(as.page_table().resident_count()) +
+                 " differs from the model's " +
+                 std::to_string(oracle_.ResidentCount(as.id())));
+        return;
+      }
+      for (VPage v = 0; v < as.num_pages(); ++v) {
+        const Pte& pte = as.page_table().at(v);
+        const FrameId model = oracle_.FrameOf(as.id(), v);
+        const FrameId actual = pte.resident ? pte.frame : kNoFrame;
+        if (model != actual) {
+          Fail(now, "oracle",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " kernel frame " + std::to_string(actual) + " != model frame " +
+                   std::to_string(model));
+          return;
+        }
+      }
+    }
+    for (FrameId f = 0; f < num_frames; ++f) {
+      const bool kernel_dirty = frames.at(f).dirty;
+      const bool model_dirty = oracle_.dirty().count(f) != 0;
+      if (kernel_dirty != model_dirty) {
+        Fail(now, "oracle",
+             "frame " + std::to_string(f) + " dirty bit is " +
+                 (kernel_dirty ? "set" : "clear") + " but the model has it " +
+                 (model_dirty ? "set" : "clear"));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace tmh

@@ -1,0 +1,232 @@
+#include "src/check/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/os/kernel.h"
+
+namespace tmh {
+
+void VmOracle::SeedFromKernel(const Kernel& kernel) {
+  free_.clear();
+  resident_.clear();
+  mapped_.clear();
+  dirty_.clear();
+  writeback_.clear();
+  const std::vector<FrameId> fl = kernel.free_list().ToVector();
+  free_.assign(fl.begin(), fl.end());
+  for (const auto& as : kernel.address_spaces()) {
+    std::map<VPage, FrameId>& pages = resident_[as->id()];
+    for (VPage v = 0; v < as->num_pages(); ++v) {
+      const Pte& pte = as->page_table().at(v);
+      if (pte.resident) {
+        pages[v] = pte.frame;
+        mapped_[pte.frame] = {as->id(), v};
+      }
+    }
+  }
+  for (FrameId f = 0; f < static_cast<FrameId>(kernel.frames().size()); ++f) {
+    const Frame& fr = kernel.frames().at(f);
+    if (fr.dirty) {
+      dirty_.insert(f);
+      if (fr.io_busy) {
+        writeback_.insert(f);
+      }
+    }
+  }
+  maxrss_pages_ = kernel.config().tunables.maxrss_pages;
+  min_freemem_pages_ = kernel.config().tunables.min_freemem_pages;
+}
+
+bool VmOracle::IsResident(AsId as, VPage vpage) const {
+  const auto it = resident_.find(as);
+  return it != resident_.end() && it->second.count(vpage) != 0;
+}
+
+FrameId VmOracle::FrameOf(AsId as, VPage vpage) const {
+  const auto it = resident_.find(as);
+  if (it == resident_.end()) {
+    return kNoFrame;
+  }
+  const auto page = it->second.find(vpage);
+  return page == it->second.end() ? kNoFrame : page->second;
+}
+
+int64_t VmOracle::ResidentCount(AsId as) const {
+  const auto it = resident_.find(as);
+  return it == resident_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+int64_t VmOracle::UpperLimit(AsId as) const {
+  const int64_t upper = std::min(
+      maxrss_pages_,
+      ResidentCount(as) + static_cast<int64_t>(free_.size()) - min_freemem_pages_);
+  return std::max<int64_t>(upper, 0);
+}
+
+bool VmOracle::InFreeList(FrameId f) const {
+  return std::find(free_.begin(), free_.end(), f) != free_.end();
+}
+
+void VmOracle::Diverge(const VmHookEvent& event, const std::string& what) {
+  if (!failure_.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "oracle divergence on " << VmHookOpName(event.op) << " (as=" << event.as
+     << " vpage=" << event.vpage << " frame=" << event.frame << " a=" << event.a
+     << " b=" << event.b << " t=" << event.when << "): " << what;
+  failure_ = os.str();
+}
+
+void VmOracle::Apply(const VmHookEvent& event) {
+  if (!failure_.empty()) {
+    return;
+  }
+  switch (event.op) {
+    case VmHookOp::kAlloc: {
+      if (free_.empty()) {
+        Diverge(event, "allocation from an empty free list");
+        return;
+      }
+      if (free_.front() != event.frame) {
+        Diverge(event, "allocation did not pop the free-list head (model head=" +
+                           std::to_string(free_.front()) + ")");
+        return;
+      }
+      if (dirty_.count(event.frame) != 0) {
+        Diverge(event, "allocated frame is dirty in the model");
+        return;
+      }
+      free_.pop_front();
+      break;
+    }
+    case VmHookOp::kMap: {
+      if (resident_[event.as].count(event.vpage) != 0) {
+        Diverge(event, "mapping an already-resident page");
+        return;
+      }
+      if (InFreeList(event.frame)) {
+        Diverge(event, "mapping a frame still on the free list");
+        return;
+      }
+      if (const auto it = mapped_.find(event.frame); it != mapped_.end()) {
+        Diverge(event, "frame already mapped by as=" + std::to_string(it->second.first));
+        return;
+      }
+      resident_[event.as][event.vpage] = event.frame;
+      mapped_[event.frame] = {event.as, event.vpage};
+      break;
+    }
+    case VmHookOp::kUnmap: {
+      const auto it = resident_.find(event.as);
+      if (it == resident_.end() || it->second.count(event.vpage) == 0) {
+        Diverge(event, "unmapping a page the model has non-resident");
+        return;
+      }
+      if (it->second[event.vpage] != event.frame) {
+        Diverge(event, "unmap frame mismatch (model frame=" +
+                           std::to_string(it->second[event.vpage]) + ")");
+        return;
+      }
+      it->second.erase(event.vpage);
+      mapped_.erase(event.frame);
+      break;
+    }
+    case VmHookOp::kFreePushHead:
+    case VmHookOp::kFreePushTail: {
+      if (InFreeList(event.frame)) {
+        Diverge(event, "double free: frame already on the model free list");
+        return;
+      }
+      if (const auto it = mapped_.find(event.frame); it != mapped_.end()) {
+        Diverge(event,
+                "freeing a frame still mapped by as=" + std::to_string(it->second.first));
+        return;
+      }
+      if (dirty_.count(event.frame) != 0) {
+        Diverge(event, "freeing a dirty frame without a writeback");
+        return;
+      }
+      if (event.op == VmHookOp::kFreePushHead) {
+        free_.push_front(event.frame);
+      } else {
+        free_.push_back(event.frame);
+      }
+      break;
+    }
+    case VmHookOp::kRescue: {
+      const auto it = std::find(free_.begin(), free_.end(), event.frame);
+      if (it == free_.end()) {
+        Diverge(event, "rescue of a frame not on the model free list");
+        return;
+      }
+      free_.erase(it);
+      ++rescues_;
+      break;
+    }
+    case VmHookOp::kWritebackBegin: {
+      if (dirty_.count(event.frame) == 0) {
+        Diverge(event, "writeback of a frame the model has clean");
+        return;
+      }
+      if (writeback_.count(event.frame) != 0) {
+        Diverge(event, "duplicate in-flight writeback");
+        return;
+      }
+      writeback_.insert(event.frame);
+      ++writebacks_;
+      break;
+    }
+    case VmHookOp::kWritebackEnd: {
+      if (writeback_.erase(event.frame) == 0) {
+        Diverge(event, "writeback completion without a matching begin");
+        return;
+      }
+      if (dirty_.erase(event.frame) == 0) {
+        Diverge(event, "writeback completion on a clean frame");
+        return;
+      }
+      break;
+    }
+    case VmHookOp::kDirty: {
+      if (!dirty_.insert(event.frame).second) {
+        Diverge(event, "clean->dirty transition on an already-dirty frame");
+        return;
+      }
+      break;
+    }
+    case VmHookOp::kValidate:
+    case VmHookOp::kInvalidate:
+    case VmHookOp::kReleaseSkip:
+      break;  // validity is a kernel-side refinement; no structural change
+    case VmHookOp::kReleaseEnqueue:
+      ++releases_enqueued_;
+      break;
+    case VmHookOp::kReleaserBatch:
+      releaser_freed_ += static_cast<uint64_t>(event.a);
+      break;
+    case VmHookOp::kDaemonSweep:
+      daemon_stolen_ += static_cast<uint64_t>(event.a);
+      break;
+    case VmHookOp::kHeaderUpdate: {
+      // The kernel publishes lazily but always from live state, so at the
+      // moment of the hook the model must agree exactly (Eq. 1).
+      const int64_t current = ResidentCount(event.as);
+      const int64_t upper = UpperLimit(event.as);
+      if (event.a != current) {
+        Diverge(event, "published current usage != model resident count (" +
+                           std::to_string(current) + ")");
+        return;
+      }
+      if (event.b != upper) {
+        Diverge(event, "published upper limit != model Eq. 1 value (" +
+                           std::to_string(upper) + ")");
+        return;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace tmh

@@ -163,6 +163,11 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
     // trace's metadata records.
     kernel.EnableObservability();
   }
+  std::unique_ptr<InvariantChecker> checker;
+  if (spec.checks) {
+    // Before StartDaemons so the checker observes every VM transition.
+    checker = std::make_unique<InvariantChecker>(kernel, spec.check_options);
+  }
   kernel.StartDaemons();
 
   std::vector<LaunchedApp> apps;
@@ -201,6 +206,13 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
   }
   MultiExperimentResult result;
   result.completed = kernel.RunUntilThreadsDone(app_threads, spec.max_events);
+
+  if (checker != nullptr) {
+    // Final full pass even if the periodic cadence skipped the last events.
+    checker->CheckNow(kernel);
+    result.check_failure = checker->failure();
+    result.checks_run = checker->checks_run();
+  }
 
   for (const LaunchedApp& app : apps) {
     result.apps.push_back(CollectApp(app));
@@ -254,6 +266,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile
   multi.max_events = spec.max_events;
   multi.trace_period = spec.trace_period;
   multi.observe = spec.observe;
+  multi.checks = spec.checks;
+  multi.check_options = spec.check_options;
   MultiExperimentResult inner = RunMultiExperiment(multi, compile_cache);
 
   ExperimentResult result;
@@ -267,6 +281,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile
   result.swap_writes = inner.swap_writes;
   result.sim_events = inner.sim_events;
   result.completed = inner.completed;
+  result.check_failure = std::move(inner.check_failure);
+  result.checks_run = inner.checks_run;
   result.daemon_activations = inner.kernel.daemon_activations;
   // The free-list rescue counter is kernel-global; recover it from the stats.
   result.free_list_rescues =

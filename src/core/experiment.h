@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/invariants.h"
 #include "src/compiler/compile.h"
 #include "src/os/config.h"
 #include "src/os/kernel.h"
@@ -71,6 +72,10 @@ struct ExperimentSpec {
   // Structured observability: record typed kernel events and metrics
   // histograms; retrieve them from ExperimentResult::event_log/metrics_text.
   bool observe = false;
+  // Correctness checking: attach an InvariantChecker (src/check) for the whole
+  // run; the first violation lands in ExperimentResult::check_failure.
+  bool checks = false;
+  CheckOptions check_options;
 };
 
 struct AppMetrics {
@@ -108,6 +113,9 @@ struct ExperimentResult {
   uint64_t daemon_activations = 0;
   uint64_t sim_events = 0;  // events the kernel's queue executed (substrate load)
   bool completed = false;  // app thread reached kDone within max_events
+  // First invariant violation (empty = clean), when spec.checks.
+  std::string check_failure;
+  uint64_t checks_run = 0;
 };
 
 // Runs one out-of-core experiment to completion of the out-of-core app.
@@ -137,6 +145,9 @@ struct MultiExperimentSpec {
   SimDuration trace_period = 0;
   // Structured observability (see ExperimentSpec::observe).
   bool observe = false;
+  // Correctness checking (see ExperimentSpec::checks).
+  bool checks = false;
+  CheckOptions check_options;
 };
 
 struct MultiExperimentResult {
@@ -150,6 +161,9 @@ struct MultiExperimentResult {
   uint64_t swap_writes = 0;
   uint64_t sim_events = 0;  // events the kernel's queue executed (substrate load)
   bool completed = false;  // every app finished within the event budget
+  // First invariant violation (empty = clean), when spec.checks.
+  std::string check_failure;
+  uint64_t checks_run = 0;
 };
 
 // Runs until every out-of-core app completes. `compile_cache` as above.

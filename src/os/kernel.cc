@@ -183,6 +183,10 @@ bool Kernel::RunUntilDone(const std::function<bool()>& done, uint64_t max_events
       return done();
     }
     ++events;
+    if (checker_ != nullptr) {
+      // Quiescent point: the event's synchronous mutation sequences are done.
+      checker_->OnQuiescent(*this);
+    }
   }
   return true;
 }
@@ -425,6 +429,7 @@ FrameId Kernel::AllocateFrame(AddressSpace* as, VPage vpage) {
   fr.owner = as->id();
   fr.vpage = vpage;
   ++stats_.allocations;
+  Hook(VmHookOp::kAlloc, as->id(), vpage, f);
   if (free_list_.size() < config_.tunables.min_freemem_pages) {
     WakeDaemon();
   }
@@ -448,6 +453,7 @@ void Kernel::MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate) {
   if (as->HasPagingDirected()) {
     as->bitmap()->Set(vpage);
   }
+  Hook(VmHookOp::kMap, as->id(), vpage, f, validate ? 1 : 0);
 }
 
 void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
@@ -466,6 +472,7 @@ void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
   if (as->HasPagingDirected()) {
     as->bitmap()->Clear(vpage);
   }
+  Hook(VmHookOp::kUnmap, as->id(), vpage, pte.frame, static_cast<int64_t>(freed_by));
 }
 
 void Kernel::FreeFrame(FrameId f, bool at_tail) {
@@ -474,16 +481,20 @@ void Kernel::FreeFrame(FrameId f, bool at_tail) {
   if (fr.dirty) {
     fr.io_busy = true;
     ++stats_.writebacks;
+    Hook(VmHookOp::kWritebackBegin, fr.owner, fr.vpage, f);
     AddressSpace* as = address_spaces_[static_cast<size_t>(fr.owner)].get();
     swap_->WritePage(as->SwapSlot(fr.vpage), [this, f, at_tail]() {
       Frame& done = frames_.at(f);
       done.dirty = false;
       done.io_busy = false;
+      Hook(VmHookOp::kWritebackEnd, done.owner, done.vpage, f);
       if (at_tail) {
         free_list_.PushTail(f);
       } else {
         free_list_.PushHead(f);
       }
+      Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, done.owner,
+           done.vpage, f);
       if (observing_) {
         freed_at_[f] = Now();
       }
@@ -498,6 +509,7 @@ void Kernel::FreeFrame(FrameId f, bool at_tail) {
   } else {
     free_list_.PushHead(f);
   }
+  Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, fr.owner, fr.vpage, f);
   if (observing_) {
     freed_at_[f] = Now();
   }
@@ -553,6 +565,8 @@ void Kernel::UpdateSharedHeader(AddressSpace* as) {
                current + free_list_.size() - config_.tunables.min_freemem_pages);
   as->bitmap()->SetHeader(current, std::max<int64_t>(upper, 0));
   as->set_header_free_snapshot(free_list_.size());
+  Hook(VmHookOp::kHeaderUpdate, as->id(), kNoVPage, kNoFrame, current,
+       std::max<int64_t>(upper, 0));
 }
 
 void Kernel::IssueReadAhead(AddressSpace* as, VPage vpage) {
@@ -631,7 +645,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
       pte.valid) {
     Charge(t, elapsed, costs.touch_hit + op.duration, &TimeBreakdown::user);
     if (op.is_write) {
-      frames_.at(pte.frame).dirty = true;
+      MarkDirty(pte.frame);
     }
     return ExecResult::kCompleted;
   }
@@ -651,7 +665,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     MapFrame(as, op.vpage, f, /*validate=*/true);
     fr.referenced = true;
     if (op.is_write) {
-      fr.dirty = true;
+      MarkDirty(f);
     }
     t->fault_phase_ = Thread::FaultPhase::kNone;
     t->fault_frame_ = kNoFrame;
@@ -670,7 +684,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     ReleaseLock(t, lock);
     Charge(t, elapsed, costs.touch_hit + op.duration, &TimeBreakdown::user);
     if (op.is_write) {
-      frames_.at(pte.frame).dirty = true;
+      MarkDirty(pte.frame);
     }
     return ExecResult::kCompleted;
   }
@@ -678,6 +692,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   // Soft-fault family: resident but invalid mapping; revalidate.
   if (pte.resident) {
     Frame& fr = frames_.at(pte.frame);
+    const InvalidReason old_reason = pte.invalid_reason;
     switch (pte.invalid_reason) {
       case InvalidReason::kFreshPrefetch:
         Charge(t, elapsed, costs.fresh_prefetch_validate, &TimeBreakdown::system);
@@ -700,8 +715,10 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     pte.valid = true;
     pte.invalid_reason = InvalidReason::kNone;
     fr.referenced = true;
+    Hook(VmHookOp::kValidate, as->id(), op.vpage, pte.frame,
+         static_cast<int64_t>(old_reason));
     if (op.is_write) {
-      fr.dirty = true;
+      MarkDirty(pte.frame);
     }
     if (as->HasPagingDirected()) {
       as->bitmap()->Set(op.vpage);
@@ -731,6 +748,8 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
         free_list_.Contains(pte.frame)) {
       free_list_.Remove(pte.frame);
+      Hook(VmHookOp::kRescue, as->id(), op.vpage, pte.frame,
+           static_cast<int64_t>(fr.freed_by));
       if (fr.freed_by == FreedBy::kDaemon) {
         ++stats_.rescued_daemon_freed;
         ++as->stats().rescued_from_steal;
@@ -745,7 +764,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
       MapFrame(as, op.vpage, f, /*validate=*/true);
       fr.referenced = true;
       if (op.is_write) {
-        fr.dirty = true;
+        MarkDirty(f);
       }
       Charge(t, elapsed, costs.rescue_fault, &TimeBreakdown::system);
       ++t->faults_.rescue_faults;
@@ -786,7 +805,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     MapFrame(as, op.vpage, f, /*validate=*/true);
     Frame& fr = frames_.at(f);
     fr.referenced = true;
-    fr.dirty = true;  // zero-filled contents exist nowhere on swap yet
+    MarkDirty(f);  // zero-filled contents exist nowhere on swap yet
     Charge(t, elapsed, costs.zero_fill, &TimeBreakdown::system);
     ++t->faults_.zero_fill_faults;
     ++stats_.zero_fills;
@@ -903,6 +922,8 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
     if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
         free_list_.Contains(pte.frame)) {
       free_list_.Remove(pte.frame);
+      Hook(VmHookOp::kRescue, as->id(), op.vpage, pte.frame,
+           static_cast<int64_t>(fr.freed_by));
       if (fr.freed_by == FreedBy::kDaemon) {
         ++stats_.rescued_daemon_freed;
         ++as->stats().rescued_from_steal;
@@ -1017,6 +1038,7 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     }
     ++stats_.release_pages_enqueued;
     ++as->stats().release_pages_requested;
+    Hook(VmHookOp::kReleaseEnqueue, as->id(), p, pte.frame);
     enqueued_any = true;
   }
   UpdateSharedHeader(as);

@@ -24,6 +24,7 @@
 #include "src/os/address_space.h"
 #include "src/os/config.h"
 #include "src/os/thread.h"
+#include "src/os/vm_hooks.h"
 #include "src/sim/event_log.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
@@ -107,6 +108,15 @@ class Kernel {
   // Idempotent; typically called once after the run.
   void PublishMetrics();
 
+  // --- correctness checking ---------------------------------------------------
+
+  // Attaches (or, with nullptr, detaches) a VmChecker. While attached, every
+  // semantic VM transition is narrated to it (src/os/vm_hooks.h) and it is
+  // given a cross-validation opportunity after each simulation event. When
+  // detached every hook site is one predicted-false branch.
+  void AttachChecker(VmChecker* checker) { checker_ = checker; }
+  [[nodiscard]] bool checking() const { return checker_ != nullptr; }
+
   // --- execution -------------------------------------------------------------
 
   // Runs the simulation until `done` returns true or `max_events` fire.
@@ -131,8 +141,20 @@ class Kernel {
   [[nodiscard]] const std::vector<std::unique_ptr<AddressSpace>>& address_spaces() const {
     return address_spaces_;
   }
+  [[nodiscard]] bool has_daemons() const { return releaser_ != nullptr; }
   [[nodiscard]] PagingDaemon& paging_daemon() { return *paging_daemon_; }
   [[nodiscard]] Releaser& releaser() { return *releaser_; }
+
+  // Pending releaser work, in syscall order. Checker/test introspection: the
+  // invariant "every release-pending PTE is queued here or gathered into the
+  // releaser's unresolved batch" is cross-validated against this.
+  struct ReleaseWorkItem {
+    AddressSpace* as;
+    VPage vpage;
+  };
+  [[nodiscard]] const std::deque<ReleaseWorkItem>& release_work() const {
+    return release_work_;
+  }
 
   // --- PagingDirected policy module entry points ------------------------------
   // (Invoked through Ops; see policy_module.h for the user-level facade.)
@@ -157,11 +179,6 @@ class Kernel {
 
   enum class ExecResult : uint8_t { kCompleted, kBlocked, kExited };
 
-  struct ReleaseWorkItem {
-    AddressSpace* as;
-    VPage vpage;
-  };
-
   // Schedules the recurring paging-daemon timer tick.
   void DaemonTickChain(SimDuration period);
 
@@ -181,6 +198,22 @@ class Kernel {
   // Acquires `lock` for `t` or blocks it. Returns true when the lock is held.
   bool AcquireOrBlock(Thread* t, MemoryLock& lock, SimDuration* elapsed);
   void ReleaseLock(Thread* t, MemoryLock& lock);
+
+  // Narrates one semantic transition to the attached checker (no-op branch
+  // when none is attached).
+  void Hook(VmHookOp op, AsId as, VPage vpage, FrameId frame, int64_t a = 0, int64_t b = 0) {
+    if (checker_ != nullptr) {
+      checker_->OnVmEvent(VmHookEvent{queue_.Now(), op, as, vpage, frame, a, b});
+    }
+  }
+  // Sets a frame's dirty bit, narrating the clean->dirty transition.
+  void MarkDirty(FrameId f) {
+    Frame& fr = frames_.at(f);
+    if (!fr.dirty) {
+      fr.dirty = true;
+      Hook(VmHookOp::kDirty, fr.owner, fr.vpage, f);
+    }
+  }
 
   // Memory helpers.
   FrameId AllocateFrame(AddressSpace* as, VPage vpage);
@@ -237,6 +270,9 @@ class Kernel {
   // Tracing.
   void TraceTick(SimDuration period);
   TraceRecorder trace_;
+
+  // Correctness checking (dormant unless AttachChecker ran).
+  VmChecker* checker_ = nullptr;
 
   // Observability (all dormant unless EnableObservability ran).
   bool observing_ = false;

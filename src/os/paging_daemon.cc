@@ -138,6 +138,7 @@ SimDuration PagingDaemon::ProcessBatch() {
     }
     if (!victims.empty()) {
       k.UpdateSharedHeader(batch_as_);
+      k.Hook(VmHookOp::kDaemonSweep, batch_as_->id(), kNoVPage, kNoFrame, stolen);
       const SimDuration total = std::max<SimDuration>(cost, 1);
       if (k.observing_) {
         k.event_log_.Record(k.Now(), KernelEventType::kDaemonSweep,
@@ -168,6 +169,7 @@ SimDuration PagingDaemon::ProcessBatch() {
       fr.referenced = false;
       ++k.stats_.daemon_invalidations;
       ++batch_as_->stats().invalidations_received;
+      k.Hook(VmHookOp::kInvalidate, batch_as_->id(), fr.vpage, f);
     } else if (k.free_list_.size() >= target &&
                batch_as_->page_table().resident_count() <=
                    k.config_.tunables.maxrss_pages) {
@@ -185,6 +187,7 @@ SimDuration PagingDaemon::ProcessBatch() {
     }
   }
   k.UpdateSharedHeader(batch_as_);
+  k.Hook(VmHookOp::kDaemonSweep, batch_as_->id(), kNoVPage, kNoFrame, stolen);
   const SimDuration total = std::max<SimDuration>(cost, 1);
   if (k.observing_) {
     k.event_log_.Record(k.Now(), KernelEventType::kDaemonSweep,

@@ -43,6 +43,7 @@ AddressSpace* Releaser::GatherBatch() {
     batch_.push_back(k.release_work_.front().vpage);
     k.release_work_.pop_front();
   }
+  batch_resolved_ = false;
   return as;
 }
 
@@ -67,12 +68,14 @@ SimDuration Releaser::ProcessBatch() {
         pte.invalid_reason != InvalidReason::kReleasePending) {
       ++k.stats_.releaser_skipped;
       ++as_stats.releases_skipped;
+      k.Hook(VmHookOp::kReleaseSkip, batch_as_->id(), p, pte.frame);
       continue;
     }
     Frame& fr = frames.at(pte.frame);
     if (!fr.mapped || fr.io_busy) {
       ++k.stats_.releaser_skipped;
       ++as_stats.releases_skipped;
+      k.Hook(VmHookOp::kReleaseSkip, batch_as_->id(), p, pte.frame);
       continue;
     }
     const FrameId f = pte.frame;
@@ -87,6 +90,8 @@ SimDuration Releaser::ProcessBatch() {
     }
   }
   k.UpdateSharedHeader(batch_as_);
+  batch_resolved_ = true;
+  k.Hook(VmHookOp::kReleaserBatch, batch_as_->id(), kNoVPage, kNoFrame, freed);
   const SimDuration total = std::max<SimDuration>(cost, 1);
   if (k.observing_) {
     k.event_log_.Record(k.Now(), KernelEventType::kReleaserBatch,

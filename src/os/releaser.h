@@ -31,6 +31,16 @@ class Releaser : public Program {
 
   [[nodiscard]] WaitQueue& wait_queue() { return wq_; }
 
+  // Checker introspection: pages gathered off the kernel's release queue but
+  // not yet resolved by ProcessBatch (the lock wait can be long). Empty once
+  // the batch has been processed.
+  [[nodiscard]] std::vector<VPage> UnresolvedBatch() const {
+    return batch_resolved_ ? std::vector<VPage>{} : batch_;
+  }
+  [[nodiscard]] const AddressSpace* batch_as() const {
+    return batch_resolved_ ? nullptr : batch_as_;
+  }
+
  private:
   enum class Phase : uint8_t { kIdle, kLocked, kUnlock };
 
@@ -47,6 +57,7 @@ class Releaser : public Program {
   Phase phase_ = Phase::kIdle;
   std::vector<VPage> batch_;
   AddressSpace* batch_as_ = nullptr;
+  bool batch_resolved_ = true;
 };
 
 }  // namespace tmh

@@ -1,0 +1,98 @@
+// Checker hook interface for the VM subsystem.
+//
+// The kernel narrates every semantic transition of the memory system — frame
+// allocation, map/unmap, free-list pushes, rescues, writebacks, dirty
+// transitions, release queueing, daemon sweeps, shared-header updates — as a
+// stream of VmHookEvents to an attached VmChecker. The stream is exactly the
+// set of "kernel-visible operations" a reference model needs to replay the
+// run, so src/check can maintain a deliberately naive shadow VM (the oracle)
+// and cross-validate the optimized kernel against it after every simulation
+// event. With no checker attached every hook site is a single predicted-false
+// pointer test, mirroring the observability layer's observing_ guard.
+//
+// This header lives in src/os (not src/check) so the kernel never depends on
+// the checker library; src/check implements VmChecker against the kernel's
+// public introspection surface.
+
+#ifndef TMH_SRC_OS_VM_HOOKS_H_
+#define TMH_SRC_OS_VM_HOOKS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/vm/types.h"
+
+namespace tmh {
+
+class Kernel;
+
+// Semantic VM transitions, in kernel-emission order.
+enum class VmHookOp : uint8_t {
+  kAlloc,          // frame popped from the free-list head and assigned (as, vpage)
+  kMap,            // mapping installed; a = validated (1) or fresh-prefetch (0)
+  kUnmap,          // mapping removed; a = FreedBy of the reclaim path
+  kFreePushHead,   // frame pushed at the free-list head (daemon steals)
+  kFreePushTail,   // frame pushed at the free-list tail (releases)
+  kRescue,         // frame removed from mid-list for (as, vpage); a = FreedBy
+  kWritebackBegin, // dirty page-out started for the frame
+  kWritebackEnd,   // page-out finished; dirty cleared
+  kDirty,          // frame transitioned clean -> dirty
+  kValidate,       // resident mapping revalidated by a touch; a = old InvalidReason
+  kInvalidate,     // daemon reference-bit sampling invalidated the mapping
+  kReleaseEnqueue, // release syscall queued the page for the releaser
+  kReleaseSkip,    // releaser dropped a stale request (page re-referenced/gone)
+  kReleaserBatch,  // one releaser batch resolved; a = pages freed
+  kDaemonSweep,    // one paging-daemon batch resolved; a = pages stolen
+  kHeaderUpdate,   // shared header written; a = current usage, b = upper limit
+};
+
+// Stable lower_snake name, for violation reports and event-tail dumps.
+inline const char* VmHookOpName(VmHookOp op) {
+  switch (op) {
+    case VmHookOp::kAlloc: return "alloc";
+    case VmHookOp::kMap: return "map";
+    case VmHookOp::kUnmap: return "unmap";
+    case VmHookOp::kFreePushHead: return "free_push_head";
+    case VmHookOp::kFreePushTail: return "free_push_tail";
+    case VmHookOp::kRescue: return "rescue";
+    case VmHookOp::kWritebackBegin: return "writeback_begin";
+    case VmHookOp::kWritebackEnd: return "writeback_end";
+    case VmHookOp::kDirty: return "dirty";
+    case VmHookOp::kValidate: return "validate";
+    case VmHookOp::kInvalidate: return "invalidate";
+    case VmHookOp::kReleaseEnqueue: return "release_enqueue";
+    case VmHookOp::kReleaseSkip: return "release_skip";
+    case VmHookOp::kReleaserBatch: return "releaser_batch";
+    case VmHookOp::kDaemonSweep: return "daemon_sweep";
+    case VmHookOp::kHeaderUpdate: return "header_update";
+  }
+  return "?";
+}
+
+struct VmHookEvent {
+  SimTime when = 0;
+  VmHookOp op = VmHookOp::kAlloc;
+  AsId as = kNoAs;
+  VPage vpage = kNoVPage;
+  FrameId frame = kNoFrame;
+  int64_t a = 0;  // op-specific payload (FreedBy, InvalidReason, counts, header words)
+  int64_t b = 0;
+};
+
+class VmChecker {
+ public:
+  virtual ~VmChecker() = default;
+
+  // One semantic transition; emitted mid-operation, so kernel state may be
+  // transiently inconsistent at call time. Feed the shadow model only.
+  virtual void OnVmEvent(const VmHookEvent& event) = 0;
+
+  // Called by the run loop after each simulation event completes; all
+  // synchronous mutation sequences (unmap+free, alloc+map) are finished, so
+  // full structural cross-validation is safe here.
+  virtual void OnQuiescent(Kernel& kernel) = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_OS_VM_HOOKS_H_

@@ -35,6 +35,18 @@ void FreeList::Remove(FrameId id) {
   ++rescues_;
 }
 
+std::vector<FrameId> FreeList::ToVector() const {
+  std::vector<FrameId> out;
+  out.reserve(static_cast<size_t>(size_));
+  for (FrameId f = head_; f != kNoFrame; f = next_[static_cast<size_t>(f)]) {
+    out.push_back(f);
+    if (out.size() > prev_.size()) {
+      break;  // corrupted links: bail instead of looping forever
+    }
+  }
+  return out;
+}
+
 void FreeList::Link(FrameId id, FrameId prev, FrameId next) {
   prev_[static_cast<size_t>(id)] = prev;
   next_[static_cast<size_t>(id)] = next;

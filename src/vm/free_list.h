@@ -47,6 +47,10 @@ class FreeList {
   [[nodiscard]] int64_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  // Snapshot of the list head-to-tail, for checkers and tests. Walks the
+  // intrusive links, so it also validates their consistency against size().
+  [[nodiscard]] std::vector<FrameId> ToVector() const;
+
   // Lifetime counters for Figure 9's freed-page outcome breakdown.
   [[nodiscard]] uint64_t total_head_pushes() const { return head_pushes_; }
   [[nodiscard]] uint64_t total_tail_pushes() const { return tail_pushes_; }

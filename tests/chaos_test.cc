@@ -1,68 +1,39 @@
-// Chaos testing: randomized multiprogrammed mixes across every feature
-// dimension (versions including reactive, adaptive/oracle compilation, local
-// partitions, drain orders, page sizes) must complete and preserve the
-// kernel's structural invariants.
+// Chaos soak: each seed derives a full multiprogramming scenario (random
+// machine geometry, feature mix across versions/adaptive/oracle/partitions/
+// drain orders/page sizes) and runs it with the InvariantChecker attached, so
+// every simulation event is replayed through the reference oracle and the
+// kernel's structures are cross-validated as the run progresses. Any failure
+// names its seed; `tmh_fuzz --seed N` replays the identical run outside
+// gtest, shrinks it, and prints the minimized scenario.
 
 #include <gtest/gtest.h>
 
+#include "src/check/fuzz_scenario.h"
+#include "src/check/invariants.h"
 #include "src/core/experiment.h"
-#include "src/sim/rng.h"
-#include "src/workloads/extra.h"
-#include "src/workloads/workloads.h"
-#include "tests/testutil.h"
 
 namespace tmh {
 namespace {
 
-const WorkloadInfo& PickWorkload(Rng& rng) {
-  const auto& paper = AllWorkloads();
-  const auto& extra = ExtraWorkloads();
-  const uint64_t index = rng.NextBelow(paper.size() + extra.size());
-  return index < paper.size() ? paper[index] : extra[index - paper.size()];
-}
-
 class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(ChaosTest, RandomFeatureMixCompletesWithSaneAccounting) {
-  Rng rng(GetParam() * 7919 + 13);
+TEST_P(ChaosTest, RandomScenarioPassesInvariantChecks) {
+  const uint64_t seed = GetParam();
+  const ScenarioOptions options;
+  const Scenario scenario = MakeScenario(seed, options);
 
-  MultiExperimentSpec spec;
-  spec.machine.user_memory_bytes =
-      static_cast<int64_t>((5.0 + rng.NextDouble() * 5.0) * 1024 * 1024);
-  if (rng.NextBelow(4) == 0) {
-    spec.machine.page_size_bytes = 8 * 1024;
-  }
-  if (rng.NextBelow(4) == 0) {
-    spec.machine.tunables.local_partition_pages =
-        spec.machine.num_frames() / static_cast<int64_t>(2 + rng.NextBelow(3));
-  }
-  if (rng.NextBelow(3) == 0) {
-    spec.machine.tunables.shared_header_notify_threshold = 16;
-  }
-  if (rng.NextBelow(3) == 0) {
-    spec.machine.tunables.release_to_tail = false;
-  }
-
-  const int num_apps = 1 + static_cast<int>(rng.NextBelow(2));
-  const AppVersion versions[] = {AppVersion::kOriginal, AppVersion::kPrefetch,
-                                 AppVersion::kRelease, AppVersion::kBuffered,
-                                 AppVersion::kReactive};
-  for (int i = 0; i < num_apps; ++i) {
-    MultiAppSpec app;
-    app.workload = PickWorkload(rng).factory(0.05);
-    app.version = versions[rng.NextBelow(5)];
-    app.adaptive = rng.NextBelow(3) == 0;
-    app.oracle = rng.NextBelow(4) == 0;
-    app.runtime.release_batch = static_cast<int>(10 + rng.NextBelow(200));
-    app.runtime.drain_newest_first = rng.NextBelow(2) == 0;
-    app.runtime.num_prefetch_threads = static_cast<int>(1 + rng.NextBelow(8));
-    spec.apps.push_back(std::move(app));
-  }
-  spec.with_interactive = rng.NextBelow(2) == 0;
-  spec.interactive.sleep_time = static_cast<SimDuration>((1 + rng.NextBelow(4)) * kSec);
+  // Expand the scenario exactly the way tmh_fuzz does, so a failure here
+  // replays bit-for-bit under the standalone driver.
+  MultiExperimentSpec spec = ToSpec(scenario);
+  spec.checks = true;
+  spec.check_options.full_check_period = options.full_check_period;
 
   const MultiExperimentResult result = RunMultiExperiment(spec);
-  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.completed) << Describe(scenario);
+  ASSERT_TRUE(result.check_failure.empty())
+      << result.check_failure << "\nreplay: tmh_fuzz --seed " << seed << "\n"
+      << Describe(scenario);
+  EXPECT_GT(result.checks_run, 0u);
 
   // Structural sanity on the aggregate counters.
   for (const AppMetrics& app : result.apps) {
@@ -80,7 +51,9 @@ TEST_P(ChaosTest, RandomFeatureMixCompletesWithSaneAccounting) {
                 result.kernel.local_evictions);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<uint64_t>(1, 17));
+// Seeds 1..6 are fuzz_smoke's fixture; the soak takes a disjoint range so the
+// two suites together cover more of the scenario space.
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<uint64_t>(101, 113));
 
 }  // namespace
 }  // namespace tmh

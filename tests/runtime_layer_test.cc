@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/runtime/prefetch_pool.h"
 #include "tests/testutil.h"
 
@@ -283,6 +285,95 @@ TEST_F(RuntimeLayerTest, BatchFormsMatchRepeatedSingles) {
   EXPECT_EQ(a.stats().prefetch_hints, 3u);
   EXPECT_EQ(a.pool().enqueued(), 1u);
   EXPECT_GT(pf_cost, 0);
+}
+
+TEST_F(RuntimeLayerTest, TagFilterNeverDropsALivePage) {
+  // The one-behind filter may only hold back the single most recent hint per
+  // tag; everything older must surface, and the flush must emit the holdout.
+  RuntimeLayer& layer = Layer(false);
+  MarkResident(0, 32);
+  std::vector<Op> out;
+  for (VPage p = 0; p < 32; ++p) {
+    layer.OnReleaseHint(p, 0, /*tag=*/1, out);
+    // The page named by the newest hint (still live inside the loop nest)
+    // must never be among the issued releases.
+    for (const Op& op : out) {
+      EXPECT_LT(op.vpage, p);
+    }
+  }
+  layer.FlushTag(1, out);
+  ASSERT_EQ(out.size(), 32u);
+  std::set<VPage> released;
+  for (const Op& op : out) {
+    EXPECT_EQ(op.kind, Op::Kind::kRelease);
+    released.insert(op.vpage);
+  }
+  EXPECT_EQ(released.size(), 32u);  // every page surfaced, none dropped
+}
+
+TEST_F(RuntimeLayerTest, BatchResolutionMatchesEquivalentSingles) {
+  // OnReleaseHintBatch(page, n) is the compiled form of n identical single
+  // hints; the emitted ops and every counter must match the single-call path.
+  RuntimeLayer& batch = Layer(false);
+  RuntimeOptions options;
+  options.buffered = false;
+  options.num_prefetch_threads = 2;
+  RuntimeLayer singles(&kernel_, as_, options);
+  MarkResident(0, 16);
+
+  const struct { VPage page; int64_t repeats; } hints[] = {
+      {0, 3}, {1, 1}, {2, 4}, {5, 2}, {7, 1}};
+  std::vector<Op> out_batch;
+  std::vector<Op> out_singles;
+  for (const auto& h : hints) {
+    batch.OnReleaseHintBatch(h.page, 0, /*tag=*/1, h.repeats, out_batch);
+    for (int64_t i = 0; i < h.repeats; ++i) {
+      singles.OnReleaseHint(h.page, 0, /*tag=*/1, out_singles);
+    }
+  }
+  ASSERT_EQ(out_batch.size(), out_singles.size());
+  for (size_t i = 0; i < out_batch.size(); ++i) {
+    EXPECT_EQ(out_batch[i].kind, out_singles[i].kind);
+    EXPECT_EQ(out_batch[i].vpage, out_singles[i].vpage);
+  }
+  EXPECT_EQ(batch.stats().release_hints, singles.stats().release_hints);
+  EXPECT_EQ(batch.stats().release_filtered_same_page,
+            singles.stats().release_filtered_same_page);
+  EXPECT_EQ(batch.stats().release_filtered_not_resident,
+            singles.stats().release_filtered_not_resident);
+  EXPECT_EQ(batch.stats().releases_issued_immediate,
+            singles.stats().releases_issued_immediate);
+}
+
+TEST_F(RuntimeLayerTest, BufferedBatchResolutionMatchesSinglesThroughDrain) {
+  RuntimeLayer& batch = Layer(/*buffered=*/true, /*batch=*/4);
+  RuntimeOptions options;
+  options.buffered = true;
+  options.release_batch = 4;
+  options.num_prefetch_threads = 2;
+  RuntimeLayer singles(&kernel_, as_, options);
+  MarkResident(0, 16);
+  as_->bitmap()->SetHeader(16, 1000);  // headroom: buffer reuse releases
+
+  std::vector<Op> out_batch;
+  std::vector<Op> out_singles;
+  for (VPage p = 0; p < 8; ++p) {
+    batch.OnReleaseHintBatch(p, /*priority=*/1, /*tag=*/1, 2, out_batch);
+    singles.OnReleaseHint(p, 1, 1, out_singles);
+    singles.OnReleaseHint(p, 1, 1, out_singles);
+  }
+  EXPECT_EQ(batch.buffered_pages(), singles.buffered_pages());
+  // Near the limit both must drain the same pages in the same order.
+  as_->bitmap()->SetHeader(999, 1000);
+  batch.OnReleaseHintBatch(8, 1, 1, 2, out_batch);
+  singles.OnReleaseHint(8, 1, 1, out_singles);
+  singles.OnReleaseHint(8, 1, 1, out_singles);
+  ASSERT_EQ(out_batch.size(), out_singles.size());
+  for (size_t i = 0; i < out_batch.size(); ++i) {
+    EXPECT_EQ(out_batch[i].vpage, out_singles[i].vpage);
+  }
+  EXPECT_EQ(batch.stats().release_drains, singles.stats().release_drains);
+  EXPECT_EQ(batch.stats().releases_buffered, singles.stats().releases_buffered);
 }
 
 TEST_F(RuntimeLayerTest, PoolWorkersIssuePrefetchesToKernel) {

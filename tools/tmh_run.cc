@@ -46,6 +46,7 @@ struct Flags {
   int release_batch = 100;
   int prefetch_threads = 8;
   bool drain_newest_first = false;
+  bool checks = false;  // attach the invariant checker + differential oracle
   bool json = false;
   int jobs = 0;  // sweep-mode worker threads; 0 = all cores
 };
@@ -68,6 +69,8 @@ void PrintUsage() {
       "  --batch N           buffered-release drain batch        [100]\n"
       "  --threads N         prefetch pool size                  [8]\n"
       "  --drain-mru         drain buffered releases newest-first\n"
+      "  --checks            cross-validate kernel state against the reference\n"
+      "                      oracle after every event (slow; exits 1 on violation)\n"
       "  --trace PATH        write a time-series CSV to PATH\n"
       "  --html PATH         write a standalone HTML trace report to PATH\n"
       "  --trace-out PATH    write a Chrome tracing JSON of kernel events to PATH\n"
@@ -143,6 +146,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       }
     } else if (arg == "--drain-mru") {
       flags->drain_newest_first = true;
+    } else if (arg == "--checks") {
+      flags->checks = true;
     } else if (arg == "--json") {
       flags->json = true;
     } else if (arg == "--trace") {
@@ -209,6 +214,7 @@ tmh::ExperimentSpec SpecFor(const Flags& flags, const tmh::WorkloadInfo& info,
   spec.runtime.release_batch = flags.release_batch;
   spec.runtime.num_prefetch_threads = flags.prefetch_threads;
   spec.runtime.drain_newest_first = flags.drain_newest_first;
+  spec.checks = flags.checks;
   return spec;
 }
 
@@ -244,6 +250,11 @@ int RunSweep(const Flags& flags, const std::vector<const tmh::WorkloadInfo*>& in
   for (size_t i = 0; i < results.size(); ++i) {
     const tmh::ExperimentResult& result = results[i];
     all_completed = all_completed && result.completed;
+    if (!result.check_failure.empty()) {
+      std::fprintf(stderr, "INVARIANT VIOLATION in %s %s:\n%s\n", names[i].c_str(),
+                   version_labels[i].c_str(), result.check_failure.c_str());
+      all_completed = false;
+    }
     std::vector<std::string> row = {
         names[i], version_labels[i],
         tmh::FormatDouble(tmh::ToSeconds(result.app.times.Execution()), 1),
@@ -372,6 +383,14 @@ int main(int argc, char** argv) {
   const tmh::ExperimentResult result = tmh::RunExperiment(spec);
   if (!result.completed) {
     std::fprintf(stderr, "WARNING: run did not complete within the event budget\n");
+  }
+  if (!result.check_failure.empty()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION:\n%s\n", result.check_failure.c_str());
+    return 1;
+  }
+  if (flags.checks && !flags.json) {
+    std::printf("invariant checks: %llu passes, no violations\n\n",
+                (unsigned long long)result.checks_run);
   }
 
   if (!flags.trace_out_path.empty()) {
