@@ -38,50 +38,44 @@ void Disk::StartNext() {
       break;
     }
   }
-  IoRequest request = std::move(pending_[pick]);
+  current_ = std::move(pending_[pick]);
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
 
   // Positioning: a request contiguous with the previous one skips the seek and
   // most rotational delay (striped sequential access hits this path).
   SimDuration positioning;
-  if (request.block == last_block_end_) {
+  if (current_.block == last_block_end_) {
     positioning = params_.sequential_seek;
   } else {
     positioning = params_.avg_seek + params_.half_rotation;
   }
-  const SimTime started = request.submitted_at;
-  queue_->ScheduleAfter(positioning, [this, request = std::move(request), started]() mutable {
-    PositioningDone(std::move(request), started);
-  });
+  queue_->ScheduleAfter(positioning, [this]() { PositioningDone(); });
 }
 
-void Disk::PositioningDone(IoRequest request, SimTime started) {
+void Disk::PositioningDone() {
   const SimDuration transfer =
-      params_.TransferTime(request.bytes) + params_.controller_overhead;
-  controller_->AcquireBus(transfer, [this, request = std::move(request), started]() mutable {
+      params_.TransferTime(current_.bytes) + params_.controller_overhead;
+  controller_->AcquireBus(transfer, [this, transfer]() {
     // The bus is held for the transfer duration by the controller; completion
     // of this request coincides with the bus release.
-    queue_->ScheduleAfter(params_.TransferTime(request.bytes) + params_.controller_overhead,
-                          [this, request = std::move(request), started]() mutable {
-                            TransferDone(std::move(request), started);
-                          });
+    queue_->ScheduleAfter(transfer, [this]() { TransferDone(); });
   });
 }
 
-void Disk::TransferDone(IoRequest request, SimTime started) {
-  const int64_t blocks = (request.bytes > 0) ? 1 : 0;
-  last_block_end_ = request.block + blocks;
+void Disk::TransferDone() {
+  const int64_t blocks = (current_.bytes > 0) ? 1 : 0;
+  last_block_end_ = current_.block + blocks;
   ++requests_served_;
   busy_time_ += queue_->Now() - busy_since_;
-  latency_.Add(static_cast<double>(queue_->Now() - started));
-  auto done = std::move(request.done);
+  latency_.Add(static_cast<double>(queue_->Now() - current_.submitted_at));
+  InlineCallable done = std::move(current_.done);
   // Start the next queued request before running the callback so a callback
   // that submits more I/O sees a consistent queue.
   StartNext();
   done();
 }
 
-void ScsiController::AcquireBus(SimDuration duration, std::function<void()> granted) {
+void ScsiController::AcquireBus(SimDuration duration, InlineCallable granted) {
   if (busy_) {
     waiters_.push_back(Waiter{duration, std::move(granted)});
     return;

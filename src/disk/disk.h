@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/inline_callable.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -42,12 +42,15 @@ struct DiskParams {
 };
 
 // One I/O request against a disk: read or write of `bytes` at logical `block`.
+// The completion callback is an InlineCallable: every callback the kernel and
+// the tests pass is a couple of words, so queueing and serving requests never
+// touches the heap, and moving a request is a raw byte copy.
 struct IoRequest {
   int64_t block = 0;  // disk-local block number (one block = one page slot)
   int64_t bytes = 0;
   bool is_write = false;
-  std::function<void()> done;  // invoked at completion time
-  SimTime submitted_at = 0;    // set by Disk::Submit; used for latency stats
+  InlineCallable done;       // invoked at completion time
+  SimTime submitted_at = 0;  // set by Disk::Submit; used for latency stats
 };
 
 class ScsiController;
@@ -73,8 +76,8 @@ class Disk {
   friend class ScsiController;
 
   void StartNext();
-  void PositioningDone(IoRequest request, SimTime started);
-  void TransferDone(IoRequest request, SimTime started);
+  void PositioningDone();
+  void TransferDone();
 
   EventQueue* queue_;
   ScsiController* controller_;
@@ -82,6 +85,10 @@ class Disk {
   std::string name_;
 
   std::deque<IoRequest> pending_;
+  // The single request in the positioning/transfer pipeline (a disk serves one
+  // request at a time). Holding it here lets every pipeline event capture just
+  // `this` — no request moves through lambdas, no heap-allocated closures.
+  IoRequest current_;
   bool busy_ = false;
   int64_t last_block_end_ = -1;  // block just past the last completed request
   SimTime busy_since_ = 0;
@@ -102,7 +109,7 @@ class ScsiController {
 
   // Requests the bus for `duration`; `granted` runs when the bus is acquired,
   // and the bus frees itself `duration` later.
-  void AcquireBus(SimDuration duration, std::function<void()> granted);
+  void AcquireBus(SimDuration duration, InlineCallable granted);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] SimDuration busy_time() const { return busy_time_; }
@@ -111,7 +118,7 @@ class ScsiController {
  private:
   struct Waiter {
     SimDuration duration;
-    std::function<void()> granted;
+    InlineCallable granted;
   };
 
   void Grant(Waiter waiter);

@@ -25,18 +25,18 @@ SwapSpace::SwapSpace(EventQueue* queue, const SwapConfig& config, int64_t page_s
   }
 }
 
-void SwapSpace::ReadPage(int64_t swap_page, std::function<void()> done) {
+void SwapSpace::ReadPage(int64_t swap_page, InlineCallable done) {
   ++reads_;
   Submit(swap_page, page_size_bytes_, /*is_write=*/false, std::move(done));
 }
 
-void SwapSpace::WritePage(int64_t swap_page, std::function<void()> done) {
+void SwapSpace::WritePage(int64_t swap_page, InlineCallable done) {
   ++writes_;
   Submit(swap_page, page_size_bytes_, /*is_write=*/true, std::move(done));
 }
 
 void SwapSpace::Submit(int64_t swap_page, int64_t bytes, bool is_write,
-                       std::function<void()> done) {
+                       InlineCallable done) {
   assert(swap_page >= 0);
   const auto n = static_cast<int64_t>(disks_.size());
   Disk& disk = *disks_[static_cast<size_t>(swap_page % n)];

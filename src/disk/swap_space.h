@@ -6,7 +6,6 @@
 #define TMH_SRC_DISK_SWAP_SPACE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,10 +30,10 @@ class SwapSpace {
 
   // Reads one page-sized extent at swap slot `swap_page`; `done` runs at I/O
   // completion time.
-  void ReadPage(int64_t swap_page, std::function<void()> done);
+  void ReadPage(int64_t swap_page, InlineCallable done);
 
   // Writes one page-sized extent (page-out of a dirty page).
-  void WritePage(int64_t swap_page, std::function<void()> done);
+  void WritePage(int64_t swap_page, InlineCallable done);
 
   [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
   [[nodiscard]] const Disk& disk(int i) const { return *disks_[static_cast<size_t>(i)]; }
@@ -45,7 +44,7 @@ class SwapSpace {
   [[nodiscard]] size_t TotalQueueDepth() const;
 
  private:
-  void Submit(int64_t swap_page, int64_t bytes, bool is_write, std::function<void()> done);
+  void Submit(int64_t swap_page, int64_t bytes, bool is_write, InlineCallable done);
 
   EventQueue* queue_;
   int64_t page_size_bytes_;

@@ -36,7 +36,7 @@ AddressSpace* Kernel::CreateAddressSpace(const std::string& name, int64_t bytes)
                                            pages, next_swap_slot_);
   next_swap_slot_ += pages;
   address_spaces_.push_back(std::move(as));
-  if (observing_) {
+  if (TMH_UNLIKELY(observing_)) {
     event_log_.SetAddressSpaceName(address_spaces_.back()->id(), name);
   }
   return address_spaces_.back().get();
@@ -47,7 +47,7 @@ Thread* Kernel::Spawn(const std::string& name, AddressSpace* as, Program* progra
   auto thread = std::make_unique<Thread>(next_thread_id_++, name, as, program, is_daemon);
   Thread* t = thread.get();
   threads_.push_back(std::move(thread));
-  if (observing_) {
+  if (TMH_UNLIKELY(observing_)) {
     event_log_.SetThreadName(t->id(), name);
   }
   t->started_at_ = Now();
@@ -69,7 +69,7 @@ void Kernel::StartDaemons() {
 
 void Kernel::DaemonTickChain(SimDuration period) {
   queue_.ScheduleAfter(period, [this, period]() {
-    if (observing_) {
+    if (TMH_UNLIKELY(observing_)) {
       // Free-memory counter track for the Chrome trace, on the daemon beat.
       event_log_.Record(Now(), KernelEventType::kFreePagesSample, 0, kNoAs, kNoVPage,
                         free_list_.size());
@@ -177,31 +177,60 @@ void Kernel::TraceTick(SimDuration period) {
 }
 
 bool Kernel::RunUntilDone(const std::function<bool()>& done, uint64_t max_events) {
-  uint64_t events = 0;
-  while (!done()) {
-    if (events >= max_events || !queue_.RunOne()) {
-      return done();
-    }
-    ++events;
-    if (checker_ != nullptr) {
-      // Quiescent point: the event's synchronous mutation sequences are done.
+  if (TMH_UNLIKELY(checker_ != nullptr)) {
+    // Checked runs stay on the one-event-at-a-time loop: the checker needs a
+    // quiescent point between events, which the batched dispatch elides.
+    uint64_t events = 0;
+    while (!done()) {
+      if (events >= max_events || !queue_.RunOne()) {
+        return done();
+      }
+      ++events;
       checker_->OnQuiescent(*this);
     }
+    return true;
   }
-  return true;
+  // The predicate is checked before the first event and after every executed
+  // event — the same stop boundary as the per-event loop — but dispatch
+  // drains whole same-time buckets between wheel scans.
+  if (done()) {
+    return true;
+  }
+  bool stopped = false;
+  queue_.RunWhile([&]() { return (stopped = done()); }, max_events);
+  return stopped || done();
 }
 
 bool Kernel::RunUntilThreadsDone(const std::vector<Thread*>& threads, uint64_t max_events) {
-  return RunUntilDone(
-      [&threads]() {
-        for (const Thread* t : threads) {
-          if (t->state() != Thread::State::kDone) {
-            return false;
-          }
+  auto all_done = [&threads]() {
+    for (const Thread* t : threads) {
+      if (t->state() != Thread::State::kDone) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (TMH_UNLIKELY(checker_ != nullptr)) {
+    return RunUntilDone(all_done, max_events);
+  }
+  // Threads only ever enter kDone (never leave), and every such transition
+  // bumps done_generation_, so the predicate is re-evaluated only when it
+  // could possibly have flipped. The per-event cost is one counter compare.
+  if (all_done()) {
+    return true;
+  }
+  uint64_t seen_gen = done_generation_;
+  bool stopped = false;
+  queue_.RunWhile(
+      [&]() {
+        if (done_generation_ == seen_gen) {
+          return false;
         }
-        return true;
+        seen_gen = done_generation_;
+        return (stopped = all_done());
       },
       max_events);
+  return stopped || all_done();
 }
 
 // --- scheduling -------------------------------------------------------------
@@ -243,6 +272,7 @@ void Kernel::RunSlice(Thread* t) {
     if (t->pending_op_.kind == Op::Kind::kExit) {
       t->has_pending_ = false;
       t->state_ = Thread::State::kDone;
+      ++done_generation_;
       t->finished_at_ = now + elapsed;
       EndSlice(t, elapsed, /*requeue=*/false);
       return;
@@ -296,7 +326,7 @@ void Kernel::Wake(Thread* t) {
     case Thread::BlockReason::kIo:
       t->times_.io_stall += waited;
       t->fault_service_.Add(static_cast<double>(waited));
-      if (observing_ && !t->is_daemon()) {
+      if (TMH_UNLIKELY(observing_) && !t->is_daemon()) {
         hist_fault_service_->Add(static_cast<double>(waited));
       }
       break;
@@ -305,7 +335,7 @@ void Kernel::Wake(Thread* t) {
       break;
     case Thread::BlockReason::kMemory:
       t->times_.resource_stall += waited;
-      if (observing_) {
+      if (TMH_UNLIKELY(observing_)) {
         event_log_.Record(Now(), KernelEventType::kMemoryWaitEnd, t->id());
       }
       break;
@@ -413,21 +443,21 @@ FrameId Kernel::AllocateFrame(AddressSpace* as, VPage vpage) {
   if (f == kNoFrame) {
     return kNoFrame;
   }
-  if (observing_) {
+  if (TMH_UNLIKELY(observing_)) {
     freed_at_.erase(f);  // handed out, not rescued: forget the free timestamp
   }
-  Frame& fr = frames_.at(f);
-  if (fr.owner != kNoAs) {
+  const AsId old_owner = frames_.owner(f);
+  if (old_owner != kNoAs) {
     // Break the stale rescue identity of the page that last lived here.
-    AddressSpace* old_as = address_spaces_[static_cast<size_t>(fr.owner)].get();
-    Pte& old_pte = old_as->page_table().at(fr.vpage);
+    AddressSpace* old_as = address_spaces_[static_cast<size_t>(old_owner)].get();
+    Pte& old_pte = old_as->page_table().at(frames_.vpage(f));
     if (old_pte.frame == f && !old_pte.resident) {
       old_pte.frame = kNoFrame;
     }
   }
   frames_.ResetIdentity(f);
-  fr.owner = as->id();
-  fr.vpage = vpage;
+  frames_.set_owner(f, as->id());
+  frames_.set_vpage(f, vpage);
   ++stats_.allocations;
   Hook(VmHookOp::kAlloc, as->id(), vpage, f);
   if (free_list_.size() < config_.tunables.min_freemem_pages) {
@@ -445,10 +475,9 @@ void Kernel::MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate) {
   pte.valid = validate;
   pte.invalid_reason = validate ? InvalidReason::kNone : InvalidReason::kFreshPrefetch;
   pte.ever_materialized = true;
-  Frame& fr = frames_.at(f);
-  fr.mapped = true;
-  fr.contents_valid = true;
-  fr.freed_by = FreedBy::kNone;
+  frames_.set_mapped(f, true);
+  frames_.set_contents_valid(f, true);
+  frames_.set_freed_by(f, FreedBy::kNone);
   as->page_table().IncrementResident();
   if (as->HasPagingDirected()) {
     as->bitmap()->Set(vpage);
@@ -459,15 +488,15 @@ void Kernel::MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate) {
 void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
   Pte& pte = as->page_table().at(vpage);
   assert(pte.resident);
-  Frame& fr = frames_.at(pte.frame);
+  const FrameId f = pte.frame;
   pte.resident = false;
   pte.valid = false;
   pte.invalid_reason = InvalidReason::kNone;
   // pte.frame intentionally kept: it is the rescue link.
-  fr.mapped = false;
-  fr.referenced = false;
-  fr.contents_valid = true;
-  fr.freed_by = freed_by;
+  frames_.set_mapped(f, false);
+  frames_.set_referenced(f, false);
+  frames_.set_contents_valid(f, true);
+  frames_.set_freed_by(f, freed_by);
   as->page_table().DecrementResident();
   if (as->HasPagingDirected()) {
     as->bitmap()->Clear(vpage);
@@ -476,26 +505,24 @@ void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
 }
 
 void Kernel::FreeFrame(FrameId f, bool at_tail) {
-  Frame& fr = frames_.at(f);
-  assert(!fr.mapped);
-  if (fr.dirty) {
-    fr.io_busy = true;
+  assert(!frames_.mapped(f));
+  if (frames_.dirty(f)) {
+    frames_.set_io_busy(f, true);
     ++stats_.writebacks;
-    Hook(VmHookOp::kWritebackBegin, fr.owner, fr.vpage, f);
-    AddressSpace* as = address_spaces_[static_cast<size_t>(fr.owner)].get();
-    swap_->WritePage(as->SwapSlot(fr.vpage), [this, f, at_tail]() {
-      Frame& done = frames_.at(f);
-      done.dirty = false;
-      done.io_busy = false;
-      Hook(VmHookOp::kWritebackEnd, done.owner, done.vpage, f);
+    Hook(VmHookOp::kWritebackBegin, frames_.owner(f), frames_.vpage(f), f);
+    AddressSpace* as = address_spaces_[static_cast<size_t>(frames_.owner(f))].get();
+    swap_->WritePage(as->SwapSlot(frames_.vpage(f)), [this, f, at_tail]() {
+      frames_.set_dirty(f, false);
+      frames_.set_io_busy(f, false);
+      Hook(VmHookOp::kWritebackEnd, frames_.owner(f), frames_.vpage(f), f);
       if (at_tail) {
         free_list_.PushTail(f);
       } else {
         free_list_.PushHead(f);
       }
-      Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, done.owner,
-           done.vpage, f);
-      if (observing_) {
+      Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, frames_.owner(f),
+           frames_.vpage(f), f);
+      if (TMH_UNLIKELY(observing_)) {
         freed_at_[f] = Now();
       }
       WakeMemoryWaiters();
@@ -509,8 +536,9 @@ void Kernel::FreeFrame(FrameId f, bool at_tail) {
   } else {
     free_list_.PushHead(f);
   }
-  Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, fr.owner, fr.vpage, f);
-  if (observing_) {
+  Hook(at_tail ? VmHookOp::kFreePushTail : VmHookOp::kFreePushHead, frames_.owner(f),
+       frames_.vpage(f), f);
+  if (TMH_UNLIKELY(observing_)) {
     freed_at_[f] = Now();
   }
   WakeMemoryWaiters();
@@ -574,8 +602,7 @@ void Kernel::IssueReadAhead(AddressSpace* as, VPage vpage) {
   if (f == kNoFrame) {
     return;
   }
-  Frame& fr = frames_.at(f);
-  fr.io_busy = true;
+  frames_.set_io_busy(f, true);
   Pte& pte = as->page_table().at(vpage);
   pte.frame = f;  // collapse/rescue link while the read is in flight
   pte.ever_materialized = true;
@@ -583,11 +610,11 @@ void Kernel::IssueReadAhead(AddressSpace* as, VPage vpage) {
     as->bitmap()->Set(vpage);
   }
   ++stats_.readahead_reads;
-  swap_->ReadPage(as->SwapSlot(vpage), [this, as, vpage, f]() {
-    Frame& done = frames_.at(f);
-    done.io_busy = false;
-    if (done.owner == as->id() && done.vpage == vpage &&
-        !as->page_table().at(vpage).resident) {
+  const AsId as_id = as->id();
+  swap_->ReadPage(as->SwapSlot(vpage), [this, as_id, vpage, f]() {
+    frames_.set_io_busy(f, false);
+    AddressSpace* as = address_spaces_[static_cast<size_t>(as_id)].get();
+    if (frames_.IsPage(f, as_id, vpage) && !as->page_table().at(vpage).resident) {
       // Like a prefetch: resident but unvalidated (no TLB entry).
       MapFrame(as, vpage, f, /*validate=*/false);
       UpdateSharedHeader(as);
@@ -602,7 +629,7 @@ bool Kernel::EvictLocalVictim(AddressSpace* as) {
   for (VPage scanned = 0; scanned < pages; ++scanned) {
     const VPage v = (cursor + scanned) % pages;
     const Pte& pte = as->page_table().at(v);
-    if (!pte.resident || frames_.at(pte.frame).io_busy) {
+    if (!pte.resident || frames_.io_busy(pte.frame)) {
       continue;
     }
     const FrameId f = pte.frame;
@@ -657,13 +684,12 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   // Resumption after page-in I/O: finalize the mapping.
   if (t->fault_phase_ == Thread::FaultPhase::kIoDone) {
     const FrameId f = t->fault_frame_;
-    Frame& fr = frames_.at(f);
-    fr.io_busy = false;
-    if (observing_) {
+    frames_.set_io_busy(f, false);
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kFaultEnd, t->id(), as->id(), op.vpage);
     }
     MapFrame(as, op.vpage, f, /*validate=*/true);
-    fr.referenced = true;
+    frames_.set_referenced(f, true);
     if (op.is_write) {
       MarkDirty(f);
     }
@@ -691,7 +717,6 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
 
   // Soft-fault family: resident but invalid mapping; revalidate.
   if (pte.resident) {
-    Frame& fr = frames_.at(pte.frame);
     const InvalidReason old_reason = pte.invalid_reason;
     switch (pte.invalid_reason) {
       case InvalidReason::kFreshPrefetch:
@@ -714,7 +739,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     }
     pte.valid = true;
     pte.invalid_reason = InvalidReason::kNone;
-    fr.referenced = true;
+    frames_.set_referenced(pte.frame, true);
     Hook(VmHookOp::kValidate, as->id(), op.vpage, pte.frame,
          static_cast<int64_t>(old_reason));
     if (op.is_write) {
@@ -733,8 +758,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   // writeback) is already moving this page; wait for that I/O instead of
   // issuing a duplicate read.
   if (pte.frame != kNoFrame) {
-    Frame& fr = frames_.at(pte.frame);
-    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.io_busy) {
+    if (frames_.IsPage(pte.frame, as->id(), op.vpage) && frames_.io_busy(pte.frame)) {
       ++t->faults_.collapsed_faults;
       ReleaseLock(t, lock);
       WaitOnFrame(t, pte.frame, *elapsed);
@@ -744,25 +768,25 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
 
   // Rescue: the frame that last held this page is still on the free list.
   if (pte.frame != kNoFrame) {
-    Frame& fr = frames_.at(pte.frame);
-    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
-        free_list_.Contains(pte.frame)) {
+    if (frames_.IsPage(pte.frame, as->id(), op.vpage) && frames_.contents_valid(pte.frame) &&
+        !frames_.io_busy(pte.frame) && free_list_.Contains(pte.frame)) {
+      const FreedBy freed_by = frames_.freed_by(pte.frame);
       free_list_.Remove(pte.frame);
       Hook(VmHookOp::kRescue, as->id(), op.vpage, pte.frame,
-           static_cast<int64_t>(fr.freed_by));
-      if (fr.freed_by == FreedBy::kDaemon) {
+           static_cast<int64_t>(freed_by));
+      if (freed_by == FreedBy::kDaemon) {
         ++stats_.rescued_daemon_freed;
         ++as->stats().rescued_from_steal;
       } else {
         ++stats_.rescued_release_freed;
         ++as->stats().rescued_from_release;
       }
-      if (observing_) {
-        RecordRescue(t, as, op.vpage, pte.frame, fr.freed_by);
+      if (TMH_UNLIKELY(observing_)) {
+        RecordRescue(t, as, op.vpage, pte.frame, freed_by);
       }
       const FrameId f = pte.frame;
       MapFrame(as, op.vpage, f, /*validate=*/true);
-      fr.referenced = true;
+      frames_.set_referenced(f, true);
       if (op.is_write) {
         MarkDirty(f);
       }
@@ -788,7 +812,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   if (f == kNoFrame) {
     // No memory: wake the daemon and wait for a free frame, then retry.
     ++stats_.memory_waits;
-    if (observing_) {
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kMemoryWaitBegin, t->id(), as->id(), op.vpage);
     }
     WakeDaemon();
@@ -803,8 +827,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   if (!needs_io) {
     // Zero-fill fault: anonymous page touched for the first time.
     MapFrame(as, op.vpage, f, /*validate=*/true);
-    Frame& fr = frames_.at(f);
-    fr.referenced = true;
+    frames_.set_referenced(f, true);
     MarkDirty(f);  // zero-filled contents exist nowhere on swap yet
     Charge(t, elapsed, costs.zero_fill, &TimeBreakdown::system);
     ++t->faults_.zero_fill_faults;
@@ -816,8 +839,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   }
 
   // Hard fault: page-in from swap. Drop the lock across the I/O.
-  Frame& fr = frames_.at(f);
-  fr.io_busy = true;
+  frames_.set_io_busy(f, true);
   t->fault_frame_ = f;
   pte.frame = f;  // lets concurrent touches collapse onto this page-in
   pte.ever_materialized = true;
@@ -841,7 +863,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
   }
   UpdateSharedHeader(as);
   ReleaseLock(t, lock);
-  if (observing_) {
+  if (TMH_UNLIKELY(observing_)) {
     event_log_.Record(Now(), KernelEventType::kFaultBegin, t->id(), as->id(), op.vpage);
   }
   Block(t, Thread::BlockReason::kIo, *elapsed);
@@ -879,9 +901,8 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   // Resumption after prefetch I/O: map without validating (no TLB entry).
   if (t->fault_phase_ == Thread::FaultPhase::kIoDone) {
     const FrameId f = t->fault_frame_;
-    Frame& fr = frames_.at(f);
-    fr.io_busy = false;
-    if (observing_) {
+    frames_.set_io_busy(f, false);
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kPrefetchComplete, t->id(), as->id(), op.vpage);
     }
     MapFrame(as, op.vpage, f, /*validate=*/false);
@@ -907,8 +928,7 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
 
   // Already in flight (another prefetch or a fault): nothing to do.
   if (pte.frame != kNoFrame) {
-    Frame& fr = frames_.at(pte.frame);
-    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.io_busy) {
+    if (frames_.IsPage(pte.frame, as->id(), op.vpage) && frames_.io_busy(pte.frame)) {
       ++stats_.prefetch_noop;
       ++as->stats().prefetches_noop;
       ReleaseLock(t, lock);
@@ -918,21 +938,21 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
 
   // Rescue via prefetch: free-list frame still holds the data.
   if (pte.frame != kNoFrame) {
-    Frame& fr = frames_.at(pte.frame);
-    if (fr.owner == as->id() && fr.vpage == op.vpage && fr.contents_valid && !fr.io_busy &&
-        free_list_.Contains(pte.frame)) {
+    if (frames_.IsPage(pte.frame, as->id(), op.vpage) && frames_.contents_valid(pte.frame) &&
+        !frames_.io_busy(pte.frame) && free_list_.Contains(pte.frame)) {
+      const FreedBy freed_by = frames_.freed_by(pte.frame);
       free_list_.Remove(pte.frame);
       Hook(VmHookOp::kRescue, as->id(), op.vpage, pte.frame,
-           static_cast<int64_t>(fr.freed_by));
-      if (fr.freed_by == FreedBy::kDaemon) {
+           static_cast<int64_t>(freed_by));
+      if (freed_by == FreedBy::kDaemon) {
         ++stats_.rescued_daemon_freed;
         ++as->stats().rescued_from_steal;
       } else {
         ++stats_.rescued_release_freed;
         ++as->stats().rescued_from_release;
       }
-      if (observing_) {
-        RecordRescue(t, as, op.vpage, pte.frame, fr.freed_by);
+      if (TMH_UNLIKELY(observing_)) {
+        RecordRescue(t, as, op.vpage, pte.frame, freed_by);
       }
       const FrameId f = pte.frame;
       MapFrame(as, op.vpage, f, /*validate=*/false);
@@ -957,7 +977,7 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   if (partition > 0 && as->page_table().resident_count() >= partition) {
     ++stats_.prefetch_dropped;
     ++as->stats().prefetches_dropped;
-    if (observing_) {
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kPrefetchDrop, t->id(), as->id(), op.vpage);
     }
     ReleaseLock(t, lock);
@@ -969,7 +989,7 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
   if (f == kNoFrame) {
     ++stats_.prefetch_dropped;
     ++as->stats().prefetches_dropped;
-    if (observing_) {
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kPrefetchDrop, t->id(), as->id(), op.vpage);
     }
     WakeDaemon();
@@ -977,15 +997,14 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
     return ExecResult::kCompleted;
   }
 
-  Frame& fr = frames_.at(f);
-  fr.io_busy = true;
+  frames_.set_io_busy(f, true);
   t->fault_frame_ = f;
   pte.frame = f;  // lets touches collapse onto the in-flight prefetch
   pte.ever_materialized = true;
   as->bitmap()->Set(op.vpage);
   ++stats_.prefetch_io;
   ReleaseLock(t, lock);
-  if (observing_) {
+  if (TMH_UNLIKELY(observing_)) {
     event_log_.Record(Now(), KernelEventType::kPrefetchIssue, t->id(), as->id(), op.vpage);
   }
   Block(t, Thread::BlockReason::kIo, *elapsed);
@@ -1022,7 +1041,7 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     if (!pte.resident || pte.invalid_reason == InvalidReason::kReleasePending) {
       continue;  // nothing resident, or already queued
     }
-    if (frames_.at(pte.frame).io_busy) {
+    if (frames_.io_busy(pte.frame)) {
       continue;
     }
     // Clear the bit and invalidate the mapping so any re-reference before the
@@ -1033,7 +1052,7 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     pte.valid = false;
     pte.invalid_reason = InvalidReason::kReleasePending;
     release_work_.push_back(ReleaseWorkItem{as, p});
-    if (observing_) {
+    if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kReleaseEnqueue, t->id(), as->id(), p);
     }
     ++stats_.release_pages_enqueued;

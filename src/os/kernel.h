@@ -22,12 +22,14 @@
 
 #include "src/disk/swap_space.h"
 #include "src/os/address_space.h"
+#include "src/sim/compiler_hints.h"
 #include "src/os/config.h"
 #include "src/os/thread.h"
 #include "src/os/vm_hooks.h"
 #include "src/sim/event_log.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
+#include "src/sim/ring_buffer.h"
 #include "src/sim/trace.h"
 #include "src/vm/frame_table.h"
 #include "src/vm/free_list.h"
@@ -152,7 +154,7 @@ class Kernel {
     AddressSpace* as;
     VPage vpage;
   };
-  [[nodiscard]] const std::deque<ReleaseWorkItem>& release_work() const {
+  [[nodiscard]] const RingBuffer<ReleaseWorkItem>& release_work() const {
     return release_work_;
   }
 
@@ -202,16 +204,17 @@ class Kernel {
   // Narrates one semantic transition to the attached checker (no-op branch
   // when none is attached).
   void Hook(VmHookOp op, AsId as, VPage vpage, FrameId frame, int64_t a = 0, int64_t b = 0) {
-    if (checker_ != nullptr) {
+    if (TMH_UNLIKELY(checker_ != nullptr)) {
       checker_->OnVmEvent(VmHookEvent{queue_.Now(), op, as, vpage, frame, a, b});
     }
   }
   // Sets a frame's dirty bit, narrating the clean->dirty transition.
   void MarkDirty(FrameId f) {
-    Frame& fr = frames_.at(f);
-    if (!fr.dirty) {
-      fr.dirty = true;
-      Hook(VmHookOp::kDirty, fr.owner, fr.vpage, f);
+    if (!frames_.dirty(f)) {
+      frames_.set_dirty(f, true);
+      if (TMH_UNLIKELY(checker_ != nullptr)) {
+        Hook(VmHookOp::kDirty, frames_.owner(f), frames_.vpage(f), f);
+      }
     }
   }
 
@@ -252,6 +255,9 @@ class Kernel {
   // Scheduler state.
   std::deque<Thread*> run_queue_;
   int busy_cpus_ = 0;
+  // Bumped on every thread transition into State::kDone. RunUntilThreadsDone
+  // gates its (otherwise per-event) predicate re-evaluation on this counter.
+  uint64_t done_generation_ = 1;
 
   // Threads waiting for a free frame (fault path only; prefetches drop).
   WaitQueue memory_wait_;
@@ -263,7 +269,7 @@ class Kernel {
   std::unique_ptr<Releaser> releaser_;
   Thread* daemon_thread_ = nullptr;
   Thread* releaser_thread_ = nullptr;
-  std::deque<ReleaseWorkItem> release_work_;
+  RingBuffer<ReleaseWorkItem> release_work_;
 
   KernelStats stats_;
 

@@ -71,8 +71,7 @@ SimDuration Releaser::ProcessBatch() {
       k.Hook(VmHookOp::kReleaseSkip, batch_as_->id(), p, pte.frame);
       continue;
     }
-    Frame& fr = frames.at(pte.frame);
-    if (!fr.mapped || fr.io_busy) {
+    if (!frames.mapped(pte.frame) || frames.io_busy(pte.frame)) {
       ++k.stats_.releaser_skipped;
       ++as_stats.releases_skipped;
       k.Hook(VmHookOp::kReleaseSkip, batch_as_->id(), p, pte.frame);
@@ -84,7 +83,7 @@ SimDuration Releaser::ProcessBatch() {
     ++k.stats_.releaser_pages_freed;
     ++as_stats.pages_released;
     ++freed;
-    if (k.observing_) {
+    if (TMH_UNLIKELY(k.observing_)) {
       k.event_log_.Record(k.Now(), KernelEventType::kReleaseFree,
                           k.releaser_thread_->id(), batch_as_->id(), p);
     }
@@ -93,7 +92,7 @@ SimDuration Releaser::ProcessBatch() {
   batch_resolved_ = true;
   k.Hook(VmHookOp::kReleaserBatch, batch_as_->id(), kNoVPage, kNoFrame, freed);
   const SimDuration total = std::max<SimDuration>(cost, 1);
-  if (k.observing_) {
+  if (TMH_UNLIKELY(k.observing_)) {
     k.event_log_.Record(k.Now(), KernelEventType::kReleaserBatch,
                         k.releaser_thread_->id(), batch_as_->id(),
                         static_cast<VPage>(freed), total);

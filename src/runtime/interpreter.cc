@@ -13,15 +13,15 @@ Interpreter::Interpreter(const CompiledProgram* program, AddressSpace* as, Runti
 
 Op Interpreter::Next(Kernel& kernel) {
   (void)kernel;
-  while (pending_.empty()) {
+  while (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
     if (done_) {
       return Op::Exit();
     }
     Step();
   }
-  Op op = pending_.front();
-  pending_.pop_front();
-  return op;
+  return pending_[pending_head_++];
 }
 
 void Interpreter::Step() {
@@ -119,9 +119,9 @@ int64_t Interpreter::EvalElement(const ArrayRef& ref, int64_t inner_shift) const
   if (inner_shift == 0) {
     value = RuntimeExpr(ref).Eval(ivs_);
   } else {
-    std::vector<int64_t> shifted = ivs_;
-    shifted.back() += inner_shift * nest.loops.back().step;
-    value = RuntimeExpr(ref).Eval(shifted);
+    shifted_scratch_.assign(ivs_.begin(), ivs_.end());
+    shifted_scratch_.back() += inner_shift * nest.loops.back().step;
+    value = RuntimeExpr(ref).Eval(shifted_scratch_);
   }
   if (ref.IsIndirect()) {
     const ArrayDecl& index_array =
@@ -219,7 +219,8 @@ void Interpreter::RunIterations() {
   const int64_t run = RunLength();
 
   SimDuration hint_cost = 0;
-  std::vector<Op> sysops;
+  std::vector<Op>& sysops = sysops_scratch_;
+  sysops.clear();
 
   // The process's text and stack are referenced continuously; rotating the
   // touch keeps the whole small set live without per-iteration overhead.
@@ -274,7 +275,8 @@ void Interpreter::ExitNest() {
   if (runtime_ != nullptr) {
     // Epilogue: flush the one-behind tag filter for this nest's releases.
     SimDuration cost = 0;
-    std::vector<Op> sysops;
+    std::vector<Op>& sysops = sysops_scratch_;
+    sysops.clear();
     for (const HintDirective& d : compiled.directives) {
       if (d.kind == HintDirective::Kind::kRelease) {
         cost += runtime_->FlushTag(d.tag, sysops);

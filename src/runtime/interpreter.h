@@ -20,7 +20,6 @@
 #define TMH_SRC_RUNTIME_INTERPRETER_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/compiler/compile.h"
@@ -88,7 +87,14 @@ class Interpreter : public Program {
   std::vector<int64_t> ivs_;
   std::vector<int64_t> last_page_;  // per ref; -1 = none
   bool nest_has_indirect_ = false;
-  std::deque<Op> pending_;
+  // Emitted-op FIFO: a vector drained through a cursor (and rewound when it
+  // empties) instead of a deque, so the steady state allocates nothing.
+  std::vector<Op> pending_;
+  size_t pending_head_ = 0;
+  // Per-call scratch, hoisted out of the hot paths so each RunIterations()
+  // (and each shifted EvalElement) reuses capacity instead of reallocating.
+  std::vector<Op> sysops_scratch_;
+  mutable std::vector<int64_t> shifted_scratch_;
 
   InterpreterStats stats_;
 };

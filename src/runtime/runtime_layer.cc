@@ -132,7 +132,11 @@ void RuntimeLayer::PolicyAccept(VPage page, int32_t priority, int32_t tag,
     ++stats_.releases_issued_immediate;
     return;
   }
-  TagQueue& queue = tag_queues_[tag];
+  if (tag != cached_queue_tag_ || cached_queue_ == nullptr) {
+    cached_queue_tag_ = tag;
+    cached_queue_ = &tag_queues_[tag];
+  }
+  TagQueue& queue = *cached_queue_;
   if (queue.pages.empty() && queue.priority == 0) {
     queue.priority = priority;
     priority_list_[priority].push_back(tag);

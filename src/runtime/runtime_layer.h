@@ -136,6 +136,11 @@ class RuntimeLayer {
     int32_t priority = 0;
   };
   std::unordered_map<int32_t, TagQueue> tag_queues_;
+  // One-behind cache over tag_queues_, same pattern as the tag filter above:
+  // buffered accepts hit one tag for a whole nest, and element pointers
+  // survive inserts (tag_queues_ never erases).
+  int32_t cached_queue_tag_ = -1;
+  TagQueue* cached_queue_ = nullptr;
   // Priority list: priority -> tags at that priority (round-robin cursor).
   std::map<int32_t, std::vector<int32_t>> priority_list_;
   size_t buffered_pages_ = 0;

@@ -1,0 +1,14 @@
+// Branch-prediction annotations for the simulator's hot paths.
+//
+// The kernel's observability and checker hooks sit inside the per-event and
+// per-op loops; marking their guards cold keeps the disabled configuration —
+// the one every benchmark and sweep runs — on a straight-line fast path where
+// the instrumentation costs one predicted-untaken branch.
+
+#ifndef TMH_SRC_SIM_COMPILER_HINTS_H_
+#define TMH_SRC_SIM_COMPILER_HINTS_H_
+
+#define TMH_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define TMH_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+#endif  // TMH_SRC_SIM_COMPILER_HINTS_H_

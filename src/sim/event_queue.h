@@ -97,6 +97,15 @@ class EventQueue {
   // cap guards against runaway self-rescheduling loops.
   uint64_t RunToCompletion(uint64_t max_events = UINT64_MAX);
 
+  // Runs events with the same bucket-draining dispatch as RunToCompletion,
+  // but calls `stop()` after each executed event and returns as soon as it
+  // yields true. The callable is a template parameter, so a cheap predicate
+  // (e.g. a generation-counter compare) inlines into the dispatch loop
+  // instead of costing a std::function call per event.
+  template <typename Stop,
+            typename = std::enable_if_t<std::is_invocable_r_v<bool, Stop&>>>
+  uint64_t RunWhile(Stop&& stop, uint64_t max_events = UINT64_MAX);
+
   // Time of the earliest pending (non-cancelled) event, or `fallback` if none.
   [[nodiscard]] SimTime NextEventTime(SimTime fallback) const;
 
@@ -415,6 +424,42 @@ inline uint64_t EventQueue::RunToCompletion(uint64_t max_events) {
       ++count;
     }
     // A fully drained bucket is cleared by the next AdvanceToHead() pass.
+  }
+  return count;
+}
+
+template <typename Stop, typename>
+uint64_t EventQueue::RunWhile(Stop&& stop, uint64_t max_events) {
+  uint64_t count = 0;
+  while (count < max_events) {
+    Bucket* b = AdvanceToHead();
+    if (b == nullptr) {
+      break;
+    }
+    assert(static_cast<SimTime>(b->items[b->head].key) >= now_);
+    now_ = static_cast<SimTime>(b->items[b->head].key);
+    while (b->head < b->items.size() && count < max_events) {
+      const Item item = b->items[b->head];
+      ++b->head;
+      if (b->head < b->items.size()) {
+        __builtin_prefetch(&SlotAt(b->items[b->head].slot));
+      }
+      Slot& rec = SlotAt(item.slot);
+      if (rec.gen != item.gen) {
+        continue;  // cancelled; drop the stale item
+      }
+      ++rec.gen;
+      --live_count_;
+      ++executed_;
+      rec.action();
+      rec.action.Reset();
+      rec.next_free = free_head_;
+      free_head_ = item.slot;
+      ++count;
+      if (stop()) {
+        return count;
+      }
+    }
   }
   return count;
 }

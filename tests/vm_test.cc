@@ -156,16 +156,16 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FreeListPropertyTest,
 
 TEST(FrameTableTest, ResetIdentityClearsEverything) {
   FrameTable frames(4);
-  Frame& f = frames.at(2);
-  f.owner = 1;
-  f.vpage = 99;
-  f.mapped = true;
-  f.dirty = true;
-  f.referenced = true;
-  f.contents_valid = true;
-  f.io_busy = true;
-  f.freed_by = FreedBy::kReleaser;
+  frames.set_owner(2, 1);
+  frames.set_vpage(2, 99);
+  frames.set_mapped(2, true);
+  frames.set_dirty(2, true);
+  frames.set_referenced(2, true);
+  frames.set_contents_valid(2, true);
+  frames.set_io_busy(2, true);
+  frames.set_freed_by(2, FreedBy::kReleaser);
   frames.ResetIdentity(2);
+  const Frame f = frames.at(2);
   EXPECT_EQ(f.owner, kNoAs);
   EXPECT_EQ(f.vpage, kNoVPage);
   EXPECT_FALSE(f.mapped);

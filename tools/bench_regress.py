@@ -7,12 +7,25 @@ Two modes:
       Checks that FILE parses and matches the tmh-bench-v1 schema (used by the
       bench-smoke CTest target). Exit 0 on success.
 
-  bench_regress.py BASELINE CANDIDATE [--threshold PCT]
+  bench_regress.py BASELINE CANDIDATE [--threshold PCT] [--metric-threshold M=PCT]
       Prints a per-benchmark comparison (ns/op and throughput ratios) and
-      exits 1 if any benchmark regressed by more than PCT percent (default 25,
-      deliberately loose: these are single-machine wall-clock numbers) or is
-      present in BASELINE but missing from CANDIDATE (pass --allow-missing to
-      tolerate deliberate removals).
+      exits 1 on:
+        * a micro-kernel throughput (items/s) regression beyond the general
+          threshold (default 25%, deliberately loose: single-machine wall
+          numbers), or
+        * a gated metric (sim_events_per_s; sweep efficiency = speedup/jobs)
+          moving beyond its per-metric threshold in EITHER direction — a
+          too-good number means the committed snapshot is stale or the
+          measurement is broken, and should be re-recorded deliberately, or
+        * a benchmark present in BASELINE but missing from CANDIDATE
+          (pass --allow-missing to tolerate deliberate removals).
+
+Per-metric thresholds are set with repeatable --metric-threshold flags, e.g.
+  --metric-threshold sim_events_per_s=60 --metric-threshold efficiency=50
+A threshold of T percent accepts ratios in [1 - T/100, 1 / (1 - T/100)], so
+the band is symmetric in log space. Defaults are generous because CI may run
+on a machine unlike the one that recorded the snapshot: 60 for
+sim_events_per_s, 50 for efficiency.
 
 Typical flow:
 
@@ -26,6 +39,12 @@ import json
 import sys
 
 SCHEMA = "tmh-bench-v1"
+
+# Metrics gated in both directions, with their default thresholds (percent).
+GATED_METRIC_DEFAULTS = {
+    "sim_events_per_s": 60.0,
+    "efficiency": 50.0,  # parallel-sweep speedup / jobs
+}
 
 
 def load(path):
@@ -61,10 +80,13 @@ def validate(doc):
         if not (has_micro or has_e2e or has_wall):
             errors.append(f"{name}: no ns_per_op/items_per_s, sim_events_per_s, or wall_s")
         for key in ("ns_per_op", "items_per_s", "sim_events_per_s", "wall_s",
-                    "serial_wall_s"):
+                    "serial_wall_s", "speedup"):
             v = b.get(key)
             if v is not None and (not isinstance(v, (int, float)) or v <= 0):
                 errors.append(f"{name}: {key} must be a positive number, got {v!r}")
+        jobs = b.get("jobs")
+        if jobs is not None and (not isinstance(jobs, int) or jobs <= 0):
+            errors.append(f"{name}: jobs must be a positive integer, got {jobs!r}")
     return errors
 
 
@@ -74,14 +96,38 @@ def rate_of(bench):
     # micro-kernel rate rather than crashing on float(None).
     v = bench.get("sim_events_per_s")
     if v is not None:
-        return float(v), "sim-events/s"
+        return float(v), "sim_events_per_s"
     v = bench.get("items_per_s")
     if v is not None:
-        return float(v), "items/s"
+        return float(v), "items_per_s"
     return None, None
 
 
-def compare(baseline, candidate, threshold_pct, allow_missing=False):
+def efficiency_of(bench):
+    """Parallel scaling efficiency (speedup per job), or None."""
+    speedup = bench.get("speedup")
+    jobs = bench.get("jobs")
+    if speedup is None or not jobs:
+        return None
+    return float(speedup) / float(jobs)
+
+
+def gate_both_ways(name, metric, base_val, cand_val, threshold_pct, failed):
+    """Two-sided gate: ratios outside [1-t, 1/(1-t)] fail. Returns the ratio."""
+    ratio = cand_val / base_val
+    lo = 1.0 - threshold_pct / 100.0
+    hi = 1.0 / lo if lo > 0 else float("inf")
+    flag = ""
+    if ratio < lo:
+        flag = f"  << REGRESSION ({metric})"
+        failed.append(name)
+    elif ratio > hi:
+        flag = f"  << SUSPICIOUS IMPROVEMENT ({metric}: re-record the snapshot)"
+        failed.append(name)
+    return ratio, flag
+
+
+def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing=False):
     base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
     worst = 0.0
     failed = []
@@ -101,13 +147,36 @@ def compare(baseline, candidate, threshold_pct, allow_missing=False):
             # Lower is better for wall clocks; positive delta = got slower.
             wall_notes.append(
                 f"{name} {(float(cand_wall) / float(base_wall) - 1.0) * 100.0:+.1f}%")
+
+        # Scaling efficiency (speedup/jobs) is gated both ways whenever both
+        # documents report it, independently of any throughput fields.
+        base_eff = efficiency_of(base)
+        cand_eff = efficiency_of(cand)
+        if base_eff is not None and cand_eff is not None:
+            eff_threshold = metric_thresholds["efficiency"]
+            ratio, flag = gate_both_ways(name, "efficiency", base_eff, cand_eff,
+                                         eff_threshold, failed)
+            print(f"{name + ' [eff]':32} {base_eff:>13.2f}x {cand_eff:>13.2f}x "
+                  f"{ratio:>7.2f}x{flag}")
+
         if base_rate is None or cand_rate is None:
             # Wall-clock-only entries are machine-dependent end-to-end timings:
             # their delta is reported in the summary line but never gated.
-            base_txt = f"{base_wall:.2f}s" if base_wall is not None else "n/a"
-            cand_txt = f"{cand_wall:.2f}s" if cand_wall is not None else "n/a"
-            print(f"{name:32} {base_txt:>14} {cand_txt:>14}   (wall, not gated)")
+            if base_eff is None and cand_eff is None:
+                base_txt = f"{base_wall:.2f}s" if base_wall is not None else "n/a"
+                cand_txt = f"{cand_wall:.2f}s" if cand_wall is not None else "n/a"
+                print(f"{name:32} {base_txt:>14} {cand_txt:>14}   (wall, not gated)")
             continue
+
+        if unit in metric_thresholds:
+            # Gated metric: deviations beyond the per-metric threshold fail in
+            # either direction.
+            ratio, flag = gate_both_ways(name, unit, base_rate, cand_rate,
+                                         metric_thresholds[unit], failed)
+            worst = max(worst, (1.0 - ratio) * 100.0)
+            print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")
+            continue
+
         ratio = cand_rate / base_rate
         flag = ""
         regression_pct = (1.0 - ratio) * 100.0
@@ -132,12 +201,35 @@ def compare(baseline, candidate, threshold_pct, allow_missing=False):
     return failed
 
 
+def parse_metric_thresholds(pairs):
+    thresholds = dict(GATED_METRIC_DEFAULTS)
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--metric-threshold wants METRIC=PCT, got {pair!r}")
+        metric, _, pct = pair.partition("=")
+        if metric not in GATED_METRIC_DEFAULTS:
+            known = ", ".join(sorted(GATED_METRIC_DEFAULTS))
+            raise SystemExit(f"unknown gated metric {metric!r} (known: {known})")
+        try:
+            value = float(pct)
+        except ValueError:
+            raise SystemExit(f"--metric-threshold {metric}: {pct!r} is not a number")
+        if not 0 < value < 100:
+            raise SystemExit(f"--metric-threshold {metric}: must be in (0, 100)")
+        thresholds[metric] = value
+    return thresholds
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="JSON file(s)")
     parser.add_argument("--validate", action="store_true", help="schema-check only")
     parser.add_argument("--threshold", type=float, default=25.0,
-                        help="max tolerated throughput regression, percent")
+                        help="max tolerated micro-kernel throughput regression, percent")
+    parser.add_argument("--metric-threshold", action="append", default=[],
+                        metavar="METRIC=PCT",
+                        help="per-metric two-sided threshold for gated metrics "
+                             "(sim_events_per_s, efficiency); repeatable")
     parser.add_argument("--allow-missing", action="store_true",
                         help="tolerate benchmarks present in BASELINE but "
                              "absent from CANDIDATE (deliberate removals)")
@@ -153,7 +245,9 @@ def main():
         parser.error("compare mode takes exactly two files: BASELINE CANDIDATE")
     baseline = load(args.files[0])
     candidate = load(args.files[1])
-    failed = compare(baseline, candidate, args.threshold, args.allow_missing)
+    metric_thresholds = parse_metric_thresholds(args.metric_threshold)
+    failed = compare(baseline, candidate, args.threshold, metric_thresholds,
+                     args.allow_missing)
     if failed:
         print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -10,7 +10,10 @@ Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
   * "sim_events_per_s": null falls back to items_per_s instead of crashing;
   * a real throughput regression past the threshold still fails;
   * wall-clock-only entries are reported in the summary's wall-time delta but
-    never gate, even when the wall time balloons.
+    never gate, even when the wall time balloons;
+  * gated metrics (sim_events_per_s, sweep efficiency = speedup/jobs) fail in
+    BOTH directions: a collapse and a suspiciously large improvement both
+    exit 1, and --metric-threshold overrides the per-metric band.
 
 Usage: bench_regress_test.py [DATA_DIR]   (default: ../tests/data next to
 this script, so it runs both from the source tree and from CTest).
@@ -102,6 +105,51 @@ def main():
                           and "sweep_parallel +300.0%" in out, out)
     finally:
         os.unlink(slow_wall)
+
+    # Two-sided gated metrics. Mutate the fixture's e2e and sweep entries and
+    # check each direction of each gate.
+    def mutated(base_path, mutate):
+        with open(base_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for bench in doc["benchmarks"]:
+            mutate(bench)
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            return f.name
+
+    def set_events(factor):
+        def mutate(bench):
+            if bench["name"] == "e2e_run":
+                bench["sim_events_per_s"] = bench["sim_events_per_s"] * factor
+        return mutate
+
+    def set_speedup(value):
+        def mutate(bench):
+            if bench["name"] == "sweep_parallel":
+                bench["speedup"] = value
+        return mutate
+
+    for label, path_args, want_code, want_text in (
+        # Default sim_events_per_s band is 60%: [0.4x, 2.5x].
+        ("sim-events collapse fails", [mutated(baseline, set_events(0.3))], 1, "REGRESSION (sim_events_per_s)"),
+        ("sim-events 3x jump fails as suspicious", [mutated(baseline, set_events(3.0))], 1, "SUSPICIOUS IMPROVEMENT"),
+        ("sim-events within band passes", [mutated(baseline, set_events(1.5))], 0, ""),
+        # Default efficiency band is 50%: [0.5x, 2.0x] on speedup/jobs.
+        ("efficiency collapse fails", [mutated(wall_only, set_speedup(1.0))], 1, "REGRESSION (efficiency)"),
+        ("efficiency within band passes", [mutated(wall_only, set_speedup(3.0))], 0, ""),
+        # A tightened per-metric threshold turns the passing 1.5x into a fail.
+        ("--metric-threshold tightens the band",
+         [mutated(baseline, set_events(1.5)), "--metric-threshold", "sim_events_per_s=20"],
+         1, "SUSPICIOUS IMPROVEMENT"),
+    ):
+        candidate = path_args[0]
+        try:
+            base_doc = wall_only if "efficiency" in label else baseline
+            code, out = run_gate(base_doc, *path_args)
+            ok = code == want_code and (want_text in out if want_text else True)
+            failures += check(label, ok, out)
+        finally:
+            os.unlink(candidate)
 
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)
