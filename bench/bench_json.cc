@@ -163,14 +163,18 @@ struct EndToEndResult {
   bool completed = false;
 };
 
-EndToEndResult Fig07StyleRun(int repeats) {
+EndToEndResult Fig07StyleRun(int repeats, bool monitor = false) {
   EndToEndResult best;
   best.wall_s = 1e30;
   for (int r = 0; r < repeats; ++r) {
     ExperimentSpec spec;
     spec.machine.user_memory_bytes = static_cast<int64_t>(7.5 * 1024 * 1024);
     spec.workload = MakeMatvec(0.1);
-    spec.version = AppVersion::kBuffered;
+    // The monitor leg runs version O — the unhinted program is the monitor's
+    // target population — with the sampler and schemes engine live, so the
+    // entry's sim_events_per_s carries the whole monitoring overhead.
+    spec.version = monitor ? AppVersion::kOriginal : AppVersion::kBuffered;
+    spec.monitor = monitor;
     const double start = NowSeconds();
     const ExperimentResult result = RunExperiment(spec);
     const double elapsed = NowSeconds() - start;
@@ -267,8 +271,8 @@ SweepBenchResult SweepFig07Parallel(const std::vector<double>& scales, int jobs,
 }
 
 void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
-              const EndToEndResult& e2e, const SweepBenchResult& sweep,
-              const SweepBenchResult& sweep_large) {
+              const EndToEndResult& e2e, const EndToEndResult& monitor_e2e,
+              const SweepBenchResult& sweep, const SweepBenchResult& sweep_large) {
   std::fprintf(f, "{\n  \"schema\": \"tmh-bench-v1\",\n  \"benchmarks\": [\n");
   for (const BenchResult& r : results) {
     std::fprintf(f,
@@ -281,6 +285,11 @@ void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
                ", \"sim_events_per_s\": %.0f, \"completed\": %s},\n",
                e2e.wall_s, e2e.sim_events, e2e.sim_events_per_s,
                e2e.completed ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"monitor_overhead\", \"wall_s\": %.4f, \"sim_events\": %" PRIu64
+               ", \"sim_events_per_s\": %.0f, \"completed\": %s},\n",
+               monitor_e2e.wall_s, monitor_e2e.sim_events, monitor_e2e.sim_events_per_s,
+               monitor_e2e.completed ? "true" : "false");
   auto emit_sweep = [f](const char* name, const SweepBenchResult& s, bool last) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.4f, "
@@ -324,6 +333,7 @@ int main(int argc, char** argv) {
   results.push_back(tmh::FreeListChurn(4800, 100000, 5));
   results.push_back(tmh::HintFiltering(100000, 5));
   const tmh::EndToEndResult e2e = tmh::Fig07StyleRun(3);
+  const tmh::EndToEndResult monitor_e2e = tmh::Fig07StyleRun(3, /*monitor=*/true);
   const tmh::SweepBenchResult sweep = tmh::SweepFig07Parallel({0.05}, jobs, 2);
   // Larger grid (three scales) so the pool has enough independent work per
   // thread for speedup to approach the core count on multi-core machines;
@@ -332,13 +342,13 @@ int main(int argc, char** argv) {
   const tmh::SweepBenchResult sweep_large =
       tmh::SweepFig07Parallel({0.04, 0.05, 0.06}, jobs, 1);
 
-  tmh::EmitJson(stdout, results, e2e, sweep, sweep_large);
+  tmh::EmitJson(stdout, results, e2e, monitor_e2e, sweep, sweep_large);
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out_path);
     return 1;
   }
-  tmh::EmitJson(f, results, e2e, sweep, sweep_large);
+  tmh::EmitJson(f, results, e2e, monitor_e2e, sweep, sweep_large);
   std::fclose(f);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/check/fuzz_scenario.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/sim/rng.h"
@@ -66,6 +67,14 @@ Scenario MakeScenario(uint64_t seed, const ScenarioOptions& options) {
     app.num_prefetch_threads = static_cast<int>(1 + rng.NextBelow(8));
     s.apps.push_back(std::move(app));
   }
+  // Drawn last so enabling the monitor never reshapes the machine/app draws of
+  // pre-existing seeds.
+  if (rng.NextBelow(3) == 0) {
+    s.monitor = true;
+    s.monitor_period = rng.NextInRange(5, 40) * kMsec;
+    s.monitor_max_regions = rng.NextInRange(16, 128);
+    s.monitor_protect = rng.NextBelow(2) == 0;
+  }
   return s;
 }
 
@@ -106,6 +115,15 @@ MultiExperimentSpec ToSpec(const Scenario& scenario) {
     multi.runtime.num_prefetch_threads = app.num_prefetch_threads;
     spec.apps.push_back(std::move(multi));
   }
+  if (scenario.monitor) {
+    spec.monitor = true;
+    spec.monitor_config.sample_period = scenario.monitor_period;
+    spec.monitor_config.max_regions = scenario.monitor_max_regions;
+    spec.monitor_config.min_regions =
+        std::min<int64_t>(MonitorConfig{}.min_regions, scenario.monitor_max_regions);
+    spec.monitor_config.protect_hot = scenario.monitor_protect;
+    spec.monitor_config.seed = scenario.seed;
+  }
   return spec;
 }
 
@@ -131,6 +149,11 @@ std::string Describe(const Scenario& scenario) {
      << (scenario.with_interactive
              ? "sleep=" + std::to_string(scenario.interactive_sleep / kSec) + "s"
              : "off");
+  if (scenario.monitor) {
+    os << "\n  monitor: period=" << scenario.monitor_period / kMsec
+       << "ms max_regions=" << scenario.monitor_max_regions
+       << (scenario.monitor_protect ? " protect_hot" : "");
+  }
   for (const FuzzApp& app : scenario.apps) {
     os << "\n  app: " << app.workload << " version=" << VersionLabel(app.version)
        << " scale=" << app.scale << (app.adaptive ? " adaptive" : "")
@@ -178,6 +201,10 @@ ScenarioOutcome RunScenario(const Scenario& scenario,
   h = Mix(h, k.prefetch_dropped);
   h = Mix(h, k.release_pages_enqueued);
   h = Mix(h, k.memory_waits);
+  h = Mix(h, k.monitor_invalidations);
+  h = Mix(h, k.monitor_soft_faults);
+  h = Mix(h, k.monitor_releases_enqueued);
+  h = Mix(h, k.monitor_pages_protected);
   for (const AppMetrics& app : result.apps) {
     h = Mix(h, static_cast<uint64_t>(app.wall));
     h = Mix(h, app.faults.hard_faults);

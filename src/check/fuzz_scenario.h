@@ -56,6 +56,12 @@ struct Scenario {
   SimDuration interactive_sleep = kSec;
   std::vector<FuzzApp> apps;
   uint64_t max_events = 40'000'000;
+  // Online access monitoring (src/monitor) with randomized cadence/bounds;
+  // exercises monitor-issued sampling invalidations and releases under checks.
+  bool monitor = false;
+  SimDuration monitor_period = 0;
+  int64_t monitor_max_regions = 0;
+  bool monitor_protect = false;
 };
 
 // Derives the scenario for `seed` (pure function of seed and options).

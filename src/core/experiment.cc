@@ -184,6 +184,18 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
     apps.push_back(LaunchApp(kernel, spec.machine, spec.apps[i], name, compile_cache));
   }
 
+  std::unique_ptr<AccessMonitor> monitor;
+  if (spec.monitor) {
+    monitor = std::make_unique<AccessMonitor>(kernel, spec.monitor_config);
+    // Explicit targeting: sample the out-of-core apps only. The interactive
+    // task is the beneficiary being protected, not a monitoring target — its
+    // idle pages during a sleep must not be released out from under it.
+    for (const LaunchedApp& app : apps) {
+      monitor->AddTarget(app.as);
+    }
+    monitor->Start();
+  }
+
   std::unique_ptr<InteractiveTask> interactive;
   Thread* interactive_thread = nullptr;
   if (spec.with_interactive) {
@@ -219,6 +231,9 @@ MultiExperimentResult RunMultiExperiment(const MultiExperimentSpec& spec,
   }
   if (interactive != nullptr) {
     result.interactive = CollectInteractive(*interactive, interactive_thread);
+  }
+  if (monitor != nullptr) {
+    result.monitor = monitor->stats();
   }
   result.kernel = kernel.stats();
   result.trace = kernel.trace();
@@ -268,6 +283,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile
   multi.observe = spec.observe;
   multi.checks = spec.checks;
   multi.check_options = spec.check_options;
+  multi.monitor = spec.monitor;
+  multi.monitor_config = spec.monitor_config;
   MultiExperimentResult inner = RunMultiExperiment(multi, compile_cache);
 
   ExperimentResult result;
@@ -283,6 +300,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec, CompileCache* compile
   result.completed = inner.completed;
   result.check_failure = std::move(inner.check_failure);
   result.checks_run = inner.checks_run;
+  result.monitor = inner.monitor;
   result.daemon_activations = inner.kernel.daemon_activations;
   // The free-list rescue counter is kernel-global; recover it from the stats.
   result.free_list_rescues =

@@ -21,6 +21,7 @@
 
 #include "src/check/invariants.h"
 #include "src/compiler/compile.h"
+#include "src/monitor/access_monitor.h"
 #include "src/os/config.h"
 #include "src/os/kernel.h"
 #include "src/runtime/interpreter.h"
@@ -76,6 +77,13 @@ struct ExperimentSpec {
   // run; the first violation lands in ExperimentResult::check_failure.
   bool checks = false;
   CheckOptions check_options;
+  // Online access monitoring (src/monitor): a region-based sampler plus a
+  // schemes engine that releases cold regions through the standard release
+  // path — the OS-side stand-in for compiler hints the program doesn't have.
+  // Targets the out-of-core app only (never the interactive task). Stats land
+  // in ExperimentResult::monitor.
+  bool monitor = false;
+  MonitorConfig monitor_config;
 };
 
 struct AppMetrics {
@@ -116,6 +124,8 @@ struct ExperimentResult {
   // First invariant violation (empty = clean), when spec.checks.
   std::string check_failure;
   uint64_t checks_run = 0;
+  // End-of-run monitor counters, when spec.monitor.
+  std::optional<MonitorStats> monitor;
 };
 
 // Runs one out-of-core experiment to completion of the out-of-core app.
@@ -148,6 +158,10 @@ struct MultiExperimentSpec {
   // Correctness checking (see ExperimentSpec::checks).
   bool checks = false;
   CheckOptions check_options;
+  // Online access monitoring (see ExperimentSpec::monitor); targets every
+  // out-of-core app, never the interactive task.
+  bool monitor = false;
+  MonitorConfig monitor_config;
 };
 
 struct MultiExperimentResult {
@@ -164,6 +178,8 @@ struct MultiExperimentResult {
   // First invariant violation (empty = clean), when spec.checks.
   std::string check_failure;
   uint64_t checks_run = 0;
+  // End-of-run monitor counters, when spec.monitor.
+  std::optional<MonitorStats> monitor;
 };
 
 // Runs until every out-of-core app completes. `compile_cache` as above.

@@ -126,6 +126,10 @@ void Kernel::PublishMetrics() {
   pub("kernel.reactive_evictions", stats_.reactive_evictions);
   pub("kernel.local_evictions", stats_.local_evictions);
   pub("kernel.readahead_reads", stats_.readahead_reads);
+  pub("kernel.monitor_invalidations", stats_.monitor_invalidations);
+  pub("kernel.monitor_soft_faults", stats_.monitor_soft_faults);
+  pub("kernel.monitor_releases_enqueued", stats_.monitor_releases_enqueued);
+  pub("kernel.monitor_pages_protected", stats_.monitor_pages_protected);
   pub("kernel.swap_reads", swap_->reads());
   pub("kernel.swap_writes", swap_->writes());
   pub("kernel.trace_events_dropped", event_log_.dropped());
@@ -364,6 +368,12 @@ void Kernel::Signal(WaitQueue* q) {
 void Kernel::WakeDaemon() {
   if (paging_daemon_ != nullptr) {
     Signal(&paging_daemon_->wait_queue());
+  }
+}
+
+void Kernel::WakeReleaser() {
+  if (releaser_ != nullptr) {
+    Signal(&releaser_->wait_queue());
   }
 }
 
@@ -728,6 +738,14 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
         ++t->faults_.soft_faults;
         ++stats_.soft_faults;
         break;
+      case InvalidReason::kMonitorSampled:
+        // Same soft-fault flavor as a daemon sample; tracked separately so the
+        // monitor's imposed overhead is attributable.
+        Charge(t, elapsed, costs.soft_fault, &TimeBreakdown::system);
+        ++t->faults_.soft_faults;
+        ++stats_.soft_faults;
+        ++stats_.monitor_soft_faults;
+        break;
       case InvalidReason::kReleasePending:
         // Touch cancels the pending release (the releaser will see the bit).
         Charge(t, elapsed, costs.soft_fault, &TimeBreakdown::system);
@@ -1066,6 +1084,85 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     Signal(&releaser_->wait_queue());
   }
   return ExecResult::kCompleted;
+}
+
+// --- online access monitoring entry points -----------------------------------
+// These run from monitor timer events, which execute atomically between thread
+// quanta; the skip conditions below reject any page in a transitional state
+// (non-resident, I/O-busy, already queued), and threads re-examine PTE state
+// under the memory lock when they resume, so no thread observes a torn update.
+
+void Kernel::AttachMonitor(AccessMonitor* monitor) {
+  assert((monitor == nullptr || monitor_ == nullptr) && "at most one access monitor");
+  monitor_ = monitor;
+}
+
+bool Kernel::MonitorSamplePage(AddressSpace* as, VPage vpage) {
+  if (vpage < 0 || vpage >= as->num_pages()) {
+    return false;
+  }
+  Pte& pte = as->page_table().at(vpage);
+  if (!pte.resident || !pte.valid || frames_.io_busy(pte.frame)) {
+    return false;
+  }
+  // Mirror of the daemon's reference-bit sampling, for one page: invalidate
+  // the mapping and clear the bit; the next touch soft-faults and proves the
+  // access. The resident bitmap bit stays set — the page is still resident.
+  pte.valid = false;
+  pte.invalid_reason = InvalidReason::kMonitorSampled;
+  frames_.set_referenced(pte.frame, false);
+  ++stats_.monitor_invalidations;
+  ++as->stats().invalidations_received;
+  Hook(VmHookOp::kInvalidate, as->id(), vpage, pte.frame);
+  return true;
+}
+
+bool Kernel::MonitorEnqueueRelease(AddressSpace* as, VPage vpage) {
+  if (vpage < 0 || vpage >= as->num_pages()) {
+    return false;
+  }
+  Pte& pte = as->page_table().at(vpage);
+  if (!pte.resident || pte.invalid_reason == InvalidReason::kReleasePending) {
+    return false;  // nothing resident, or already queued
+  }
+  if (frames_.io_busy(pte.frame)) {
+    return false;
+  }
+  // Per-page body of the release syscall (DoRelease), verbatim: the releaser
+  // and the rescue path cannot tell a monitor-issued release from a
+  // compiler-inserted one.
+  if (as->HasPagingDirected()) {
+    as->bitmap()->Clear(vpage);
+  }
+  pte.valid = false;
+  pte.invalid_reason = InvalidReason::kReleasePending;
+  release_work_.push_back(ReleaseWorkItem{as, vpage});
+  if (TMH_UNLIKELY(observing_)) {
+    event_log_.Record(Now(), KernelEventType::kReleaseEnqueue, /*thread=*/0, as->id(), vpage);
+  }
+  ++stats_.release_pages_enqueued;
+  ++stats_.monitor_releases_enqueued;
+  ++as->stats().release_pages_requested;
+  Hook(VmHookOp::kReleaseEnqueue, as->id(), vpage, pte.frame);
+  return true;
+}
+
+void Kernel::MonitorPublishReleases(AddressSpace* as) {
+  UpdateSharedHeader(as);
+  WakeReleaser();
+}
+
+bool Kernel::MonitorProtectPage(AddressSpace* as, VPage vpage) {
+  if (vpage < 0 || vpage >= as->num_pages()) {
+    return false;
+  }
+  const Pte& pte = as->page_table().at(vpage);
+  if (!pte.resident) {
+    return false;
+  }
+  frames_.set_referenced(pte.frame, true);
+  ++stats_.monitor_pages_protected;
+  return true;
 }
 
 }  // namespace tmh

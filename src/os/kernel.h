@@ -36,6 +36,7 @@
 
 namespace tmh {
 
+class AccessMonitor;
 class PagingDaemon;
 class Releaser;
 
@@ -64,6 +65,10 @@ struct KernelStats {
   uint64_t reactive_evictions = 0;   // pages surrendered via an eviction handler
   uint64_t local_evictions = 0;      // self-evictions under local replacement
   uint64_t readahead_reads = 0;      // clustered page-ins issued with faults
+  uint64_t monitor_invalidations = 0;     // access-monitor sampling invalidations
+  uint64_t monitor_soft_faults = 0;       // revalidations of monitor samples
+  uint64_t monitor_releases_enqueued = 0; // releases queued by the schemes engine
+  uint64_t monitor_pages_protected = 0;   // reference bits re-set for hot regions
 };
 
 class Kernel {
@@ -119,6 +124,38 @@ class Kernel {
   void AttachChecker(VmChecker* checker) { checker_ = checker; }
   [[nodiscard]] bool checking() const { return checker_ != nullptr; }
 
+  // --- online access monitoring -----------------------------------------------
+  // (Used by src/monitor/access_monitor.h. The monitor drives itself from the
+  // event queue and mutates VM state only through these entry points, which
+  // emit the standard vm_hooks stream; without an attached monitor no monitor
+  // event is ever scheduled and these are never called.)
+
+  // Attaches (or, with nullptr, detaches) the access monitor. At most one.
+  void AttachMonitor(AccessMonitor* monitor);
+  [[nodiscard]] bool monitoring() const { return monitor_ != nullptr; }
+
+  // Arms a reference sample: invalidates a resident, valid, non-I/O-busy
+  // mapping and clears its frame's reference bit, so the next touch takes a
+  // soft fault that proves the access (the vhand sampling mechanism applied to
+  // one page). The resident bitmap bit stays set — the page is still resident.
+  // Returns false if the page was not in a sampleable state.
+  bool MonitorSamplePage(AddressSpace* as, VPage vpage);
+
+  // Queues one page for the releaser with compiler-release semantics: same
+  // protocol as a release syscall's per-page body (invalidate, mark
+  // release-pending, queue; rescue-able until actually freed). Returns true if
+  // the page was queued. Call MonitorPublishReleases(as) once per batch.
+  bool MonitorEnqueueRelease(AddressSpace* as, VPage vpage);
+
+  // Batch epilogue for MonitorEnqueueRelease: refreshes the shared page
+  // header and wakes the releaser, mirroring the tail of the release syscall.
+  void MonitorPublishReleases(AddressSpace* as);
+
+  // Re-sets the reference bit of a resident page so the paging daemon's clock
+  // passes over it this revolution (the monitor's Eq. 2 priority raise for a
+  // hot region). Returns true if the page was resident.
+  bool MonitorProtectPage(AddressSpace* as, VPage vpage);
+
   // --- execution -------------------------------------------------------------
 
   // Runs the simulation until `done` returns true or `max_events` fire.
@@ -171,6 +208,9 @@ class Kernel {
 
   // Wakes the paging daemon (demand wake; it also wakes periodically).
   void WakeDaemon();
+
+  // Wakes the releaser daemon if daemons are running.
+  void WakeReleaser();
 
   // Signals `q`, waking one waiter or recording a pending signal.
   void Signal(WaitQueue* q);
@@ -279,6 +319,9 @@ class Kernel {
 
   // Correctness checking (dormant unless AttachChecker ran).
   VmChecker* checker_ = nullptr;
+
+  // Online access monitoring (dormant unless AttachMonitor ran).
+  AccessMonitor* monitor_ = nullptr;
 
   // Observability (all dormant unless EnableObservability ran).
   bool observing_ = false;

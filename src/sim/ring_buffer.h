@@ -31,7 +31,11 @@ class RingBuffer {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] size_t size() const { return size_; }
 
-  void push_back(const T& value) {
+  // By value, deliberately: `value` may alias the buffer's own storage
+  // (push_back(rb.front())), and a push at full capacity relocates the arena —
+  // a reference parameter would dangle across Grow(). T is trivially copyable,
+  // so the copy is the same load the store needs anyway.
+  void push_back(T value) {
     if (size_ == slots_.size()) {
       Grow();
     }
@@ -79,6 +83,10 @@ class RingBuffer {
  private:
   static constexpr size_t kInitialCapacity = 64;  // power of two
 
+  // Relocates the live window to the front of a doubled arena. The copy loop
+  // runs before the swap, so at(i) still masks with the OLD capacity — correct
+  // even when the window wraps (head_ + size_ past the arena end) at the
+  // moment of growth.
   void Grow() {
     std::vector<T> bigger(slots_.size() * 2);
     for (size_t i = 0; i < size_; ++i) {

@@ -17,11 +17,13 @@ void Histogram::Add(double sample) {
   const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), sample);
   counts_[static_cast<size_t>(it - bounds_.begin())]++;
   ++total_;
+  min_sample_ = std::min(min_sample_, sample);
 }
 
 void Histogram::Reset() {
   counts_.assign(counts_.size(), 0);
   total_ = 0;
+  min_sample_ = std::numeric_limits<double>::infinity();
 }
 
 double Histogram::Quantile(double q) const {
@@ -29,6 +31,12 @@ double Histogram::Quantile(double q) const {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) {
+    // target would be 0, which interpolates to the first nonempty bucket's
+    // lower edge — 0.0 whenever that is the first bucket, however large the
+    // samples. The minimum is tracked exactly, so report it exactly.
+    return min_sample_;
+  }
   const double target = q * static_cast<double>(total_);
   double cumulative = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {

@@ -52,6 +52,10 @@ class Histogram {
   // Approximate quantile by linear interpolation within buckets; q in [0,1].
   // A quantile that lands in the overflow bucket saturates to bounds().back()
   // — read that value as ">= the last bound", not as an exact estimate.
+  // q = 0 is exact, not interpolated: it returns the smallest sample ever
+  // added (the histogram tracks the observed minimum). Interpolating would
+  // return the first nonempty bucket's lower edge — 0.0 for the first bucket —
+  // even when every sample sits near that bucket's upper bound.
   [[nodiscard]] double Quantile(double q) const;
 
   // Multi-line human-readable rendering (for example programs and debugging).
@@ -61,6 +65,8 @@ class Histogram {
   std::vector<double> bounds_;   // strictly increasing upper bounds
   std::vector<uint64_t> counts_; // bounds_.size() + 1 buckets
   uint64_t total_ = 0;
+  // Smallest sample added since construction/Reset (Quantile(0) semantics).
+  double min_sample_ = std::numeric_limits<double>::infinity();
 };
 
 // Builds `n` exponentially spaced bounds starting at `first`, ratio `ratio`.

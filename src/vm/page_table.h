@@ -26,6 +26,7 @@ enum class InvalidReason : uint8_t {
   kFreshPrefetch,     // never validated since prefetch completion (cheap refill)
   kDaemonInvalidated, // paging daemon cleared it to sample the reference bit
   kReleasePending,    // a release request cleared it; re-touch cancels the release
+  kMonitorSampled,    // access monitor cleared it to sample for an access
 };
 
 struct Pte {

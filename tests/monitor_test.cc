@@ -1,0 +1,246 @@
+// Tests for src/monitor: the kernel's monitoring entry points, the region
+// sampler's split/merge dynamics (determinism and the region-count bound), and
+// the schemes engine flowing through the standard release path under checks.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/monitor/access_monitor.h"
+#include "src/sim/rng.h"
+#include "src/vm/page_table.h"
+#include "src/workloads/workloads.h"
+#include "tests/testutil.h"
+
+namespace tmh {
+namespace {
+
+// --- kernel entry points ------------------------------------------------------
+
+TEST(MonitorKernelTest, SamplePageInvalidatesAndSoftFaultRevalidates) {
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeAnonAs(kernel, "a", 8);
+  ScriptProgram prog({Op::Touch(0, /*write=*/true, kMsec)});
+  Thread* t = kernel.Spawn("t", as, &prog);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+
+  Pte& pte = as->page_table().at(0);
+  ASSERT_TRUE(pte.resident);
+  ASSERT_TRUE(pte.valid);
+
+  EXPECT_FALSE(kernel.MonitorSamplePage(as, 5));   // never materialized
+  EXPECT_FALSE(kernel.MonitorSamplePage(as, -1));  // out of range
+  EXPECT_TRUE(kernel.MonitorSamplePage(as, 0));
+  EXPECT_TRUE(pte.resident);
+  EXPECT_FALSE(pte.valid);
+  EXPECT_EQ(pte.invalid_reason, InvalidReason::kMonitorSampled);
+  EXPECT_FALSE(kernel.frames().referenced(pte.frame));
+  EXPECT_EQ(kernel.stats().monitor_invalidations, 1u);
+  // Already invalid: not sampleable again until revalidated.
+  EXPECT_FALSE(kernel.MonitorSamplePage(as, 0));
+
+  ScriptProgram retouch({Op::Touch(0, /*write=*/false, kMsec)});
+  Thread* t2 = kernel.Spawn("t2", as, &retouch);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t2}));
+  EXPECT_TRUE(pte.valid);
+  EXPECT_EQ(pte.invalid_reason, InvalidReason::kNone);
+  EXPECT_TRUE(kernel.frames().referenced(pte.frame));
+  EXPECT_EQ(kernel.stats().monitor_soft_faults, 1u);
+  EXPECT_EQ(kernel.stats().soft_faults, 1u);
+}
+
+TEST(MonitorKernelTest, EnqueueReleaseFlowsThroughReleaser) {
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeAnonAs(kernel, "a", 8);
+  ScriptProgram prog({Op::Touch(0, /*write=*/true, kMsec), Op::Touch(1, /*write=*/true, kMsec)});
+  Thread* t = kernel.Spawn("t", as, &prog);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+
+  EXPECT_TRUE(kernel.MonitorEnqueueRelease(as, 0));
+  EXPECT_FALSE(kernel.MonitorEnqueueRelease(as, 0));  // already queued
+  EXPECT_FALSE(kernel.MonitorEnqueueRelease(as, 5));  // not resident
+  EXPECT_EQ(as->page_table().at(0).invalid_reason, InvalidReason::kReleasePending);
+  kernel.MonitorPublishReleases(as);
+  EXPECT_EQ(kernel.stats().monitor_releases_enqueued, 1u);
+  EXPECT_EQ(kernel.stats().release_pages_enqueued, 1u);
+
+  // Let the woken releaser drain the queue.
+  ScriptProgram sleeper({Op::Sleep(500 * kMsec)});
+  Thread* ts = kernel.Spawn("s", as, &sleeper);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({ts}));
+  EXPECT_EQ(kernel.stats().releaser_pages_freed, 1u);
+  EXPECT_FALSE(as->page_table().at(0).resident);
+  EXPECT_TRUE(as->page_table().at(1).resident);  // untouched by the monitor
+}
+
+TEST(MonitorKernelTest, EnqueueReleaseClearsPagingDirectedBitmap) {
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeSwapAs(kernel, "a", 8);
+  as->AttachPagingDirected(0, as->num_pages());
+  kernel.UpdateSharedHeader(as);
+  ScriptProgram prog({Op::Touch(0, /*write=*/true, kMsec)});
+  Thread* t = kernel.Spawn("t", as, &prog);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+  ASSERT_TRUE(as->bitmap()->Test(0));
+
+  EXPECT_TRUE(kernel.MonitorEnqueueRelease(as, 0));
+  // Same protocol as the release syscall: bit cleared so a re-reference before
+  // the releaser gets there re-sets it (rescue signal).
+  EXPECT_FALSE(as->bitmap()->Test(0));
+}
+
+TEST(MonitorKernelTest, ProtectPageSetsReferenceBit) {
+  Kernel kernel(TestMachine());
+  kernel.StartDaemons();
+  AddressSpace* as = MakeAnonAs(kernel, "a", 8);
+  ScriptProgram prog({Op::Touch(0, /*write=*/true, kMsec)});
+  Thread* t = kernel.Spawn("t", as, &prog);
+  ASSERT_TRUE(kernel.RunUntilThreadsDone({t}));
+
+  const Pte& pte = as->page_table().at(0);
+  ASSERT_TRUE(kernel.MonitorSamplePage(as, 0));  // clears the reference bit
+  ASSERT_FALSE(kernel.frames().referenced(pte.frame));
+  EXPECT_TRUE(kernel.MonitorProtectPage(as, 0));
+  EXPECT_TRUE(kernel.frames().referenced(pte.frame));
+  EXPECT_FALSE(kernel.MonitorProtectPage(as, 5));  // not resident
+  EXPECT_EQ(kernel.stats().monitor_pages_protected, 1u);
+}
+
+// --- region sampler dynamics --------------------------------------------------
+
+// Touches uniformly random pages of its address space forever.
+class RandomToucher : public Program {
+ public:
+  RandomToucher(VPage n, uint64_t seed) : n_(n), rng_(seed) {}
+
+  Op Next(Kernel& kernel) override {
+    (void)kernel;
+    return Op::Touch(static_cast<VPage>(rng_.NextBelow(static_cast<uint64_t>(n_))),
+                     /*write=*/false, kMsec);
+  }
+
+ private:
+  VPage n_;
+  Rng rng_;
+};
+
+// Adversarial (uniform random) access keeps every region's sampled behavior
+// noisy — maximal split pressure — yet the region count must respect the
+// configured bound, and the regions must always partition the address space.
+TEST(AccessMonitorTest, RegionCountBoundedUnderAdversarialPattern) {
+  Kernel kernel(TestMachine(96));
+  MonitorConfig config;
+  config.sample_period = 5 * kMsec;
+  config.samples_per_aggregation = 2;
+  config.min_regions = 4;
+  config.max_regions = 16;
+  config.release_cold = false;  // isolate the split/merge dynamics
+  AccessMonitor monitor(kernel, config);
+  kernel.StartDaemons();
+  AddressSpace* as = MakeAnonAs(kernel, "rand", 64);
+  RandomToucher prog(64, /*seed=*/7);
+  kernel.Spawn("rand", as, &prog);
+  monitor.Start();
+  const SimTime deadline = 2 * kSec;
+  kernel.RunUntilDone([&] { return kernel.Now() >= deadline; });
+
+  EXPECT_GT(monitor.stats().aggregations, 0u);
+  EXPECT_GT(monitor.stats().region_splits, 0u);
+  EXPECT_LE(monitor.stats().max_regions_seen, 16u);
+  const std::vector<MonitorRegion>* regions = monitor.RegionsFor(as->id());
+  ASSERT_NE(regions, nullptr);
+  ASSERT_GE(regions->size(), 4u);
+  ASSERT_LE(regions->size(), 16u);
+  // The regions partition [0, num_pages): contiguous, nonempty, gap-free.
+  EXPECT_EQ(regions->front().begin, 0);
+  EXPECT_EQ(regions->back().end, 64);
+  for (size_t i = 0; i < regions->size(); ++i) {
+    EXPECT_LT((*regions)[i].begin, (*regions)[i].end);
+    if (i > 0) {
+      EXPECT_EQ((*regions)[i - 1].end, (*regions)[i].begin);
+    }
+  }
+}
+
+TEST(AccessMonitorTest, UntargetedAddressSpaceIsNeverSampled) {
+  Kernel kernel(TestMachine(96));
+  MonitorConfig config;
+  config.sample_period = 5 * kMsec;
+  AccessMonitor monitor(kernel, config);
+  kernel.StartDaemons();
+  AddressSpace* target = MakeAnonAs(kernel, "target", 32);
+  AddressSpace* bystander = MakeAnonAs(kernel, "bystander", 32);
+  monitor.AddTarget(target);
+  RandomToucher p1(32, 3);
+  RandomToucher p2(32, 4);
+  kernel.Spawn("t1", target, &p1);
+  kernel.Spawn("t2", bystander, &p2);
+  monitor.Start();
+  const SimTime deadline = kSec;
+  kernel.RunUntilDone([&] { return kernel.Now() >= deadline; });
+
+  EXPECT_NE(monitor.RegionsFor(target->id()), nullptr);
+  EXPECT_EQ(monitor.RegionsFor(bystander->id()), nullptr);
+  EXPECT_EQ(bystander->stats().invalidations_received, 0u);
+  EXPECT_GT(target->stats().invalidations_received, 0u);
+}
+
+// --- end-to-end: determinism and checks ---------------------------------------
+
+ExperimentSpec MonitoredMatvecSpec() {
+  ExperimentSpec spec;
+  spec.machine.user_memory_bytes = 4 * 1024 * 1024;  // out-of-core at scale 0.05
+  spec.workload = MakeMatvec(0.05);
+  spec.version = AppVersion::kOriginal;
+  spec.monitor = true;
+  spec.monitor_config.protect_hot = true;
+  return spec;
+}
+
+TEST(AccessMonitorTest, SplitMergeDeterministicAcrossRuns) {
+  const ExperimentSpec spec = MonitoredMatvecSpec();
+  const ExperimentResult a = RunExperiment(spec);
+  const ExperimentResult b = RunExperiment(spec);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(a.monitor.has_value());
+  ASSERT_TRUE(b.monitor.has_value());
+  EXPECT_EQ(a.monitor->ticks, b.monitor->ticks);
+  EXPECT_EQ(a.monitor->samples_armed, b.monitor->samples_armed);
+  EXPECT_EQ(a.monitor->samples_hit, b.monitor->samples_hit);
+  EXPECT_EQ(a.monitor->region_splits, b.monitor->region_splits);
+  EXPECT_EQ(a.monitor->region_merges, b.monitor->region_merges);
+  EXPECT_EQ(a.monitor->cold_pages_enqueued, b.monitor->cold_pages_enqueued);
+  EXPECT_EQ(a.kernel.hard_faults, b.kernel.hard_faults);
+  EXPECT_EQ(a.kernel.monitor_soft_faults, b.kernel.monitor_soft_faults);
+  EXPECT_EQ(a.kernel.monitor_releases_enqueued, b.kernel.monitor_releases_enqueued);
+  EXPECT_EQ(a.app.wall, b.app.wall);
+  EXPECT_GT(a.monitor->samples_checked, 0u);
+}
+
+TEST(AccessMonitorTest, MonitoredRunPassesInvariantChecks) {
+  ExperimentSpec spec = MonitoredMatvecSpec();
+  spec.checks = true;
+  const ExperimentResult result = RunExperiment(spec);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.check_failure.empty()) << result.check_failure;
+  EXPECT_GT(result.checks_run, 0u);
+  ASSERT_TRUE(result.monitor.has_value());
+  EXPECT_GT(result.monitor->ticks, 0u);
+}
+
+TEST(AccessMonitorTest, NoMonitorMeansNoMonitorWork) {
+  ExperimentSpec spec = MonitoredMatvecSpec();
+  spec.monitor = false;
+  const ExperimentResult result = RunExperiment(spec);
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(result.monitor.has_value());
+  EXPECT_EQ(result.kernel.monitor_invalidations, 0u);
+  EXPECT_EQ(result.kernel.monitor_soft_faults, 0u);
+  EXPECT_EQ(result.kernel.monitor_releases_enqueued, 0u);
+  EXPECT_EQ(result.kernel.monitor_pages_protected, 0u);
+}
+
+}  // namespace
+}  // namespace tmh

@@ -1,10 +1,12 @@
-// Tests for the RNG and statistics primitives.
+// Tests for the RNG, statistics, and ring-buffer primitives.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "src/sim/ring_buffer.h"
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -172,6 +174,37 @@ TEST(HistogramTest, QuantileSaturatesAtLastBoundForOverflow) {
   EXPECT_DOUBLE_EQ(mixed.Quantile(0.99), 20.0);
 }
 
+TEST(HistogramTest, QuantileZeroReturnsObservedMinimum) {
+  // All samples land in the first bucket but sit near its upper edge: the
+  // interpolated q=0 would be the bucket's lower edge, 0.0. The documented
+  // semantics are the observed minimum instead.
+  Histogram h({1000.0, 2000.0});
+  h.Add(900.0);
+  h.Add(950.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 900.0);
+
+  // Samples in a later bucket: q=0 is still the exact minimum, not the
+  // bucket's lower edge (1000.0).
+  Histogram later({1000.0, 2000.0});
+  later.Add(1500.0);
+  EXPECT_DOUBLE_EQ(later.Quantile(0.0), 1500.0);
+
+  // Even in the overflow bucket, where every other quantile saturates at
+  // bounds().back(), q=0 reports the true minimum.
+  Histogram overflow({10.0, 20.0});
+  overflow.Add(5000.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.0), 5000.0);
+
+  // Reset forgets the minimum along with the counts.
+  overflow.Reset();
+  overflow.Add(30.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.0), 30.0);
+
+  // Empty histogram stays 0.0 at every q, including 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.0), 0.0);
+}
+
 TEST(HistogramTest, ExponentialBoundsGrowByRatio) {
   const auto bounds = ExponentialBounds(1.0, 2.0, 5);
   ASSERT_EQ(bounds.size(), 5u);
@@ -199,6 +232,71 @@ TEST(TraceRecorderTest, SummarizeBoundsChecksTheSeriesIndex) {
     EXPECT_DOUBLE_EQ(summary.max, 0.0) << bad;
     EXPECT_DOUBLE_EQ(summary.final, 0.0) << bad;
   }
+}
+
+TEST(RingBufferTest, FifoOrderAndIndexing) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 10; ++i) {
+    rb.push_back(i);
+  }
+  EXPECT_EQ(rb.size(), 10u);
+  for (size_t i = 0; i < rb.size(); ++i) {
+    EXPECT_EQ(rb.at(i), static_cast<int>(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+// Regression for the Grow() relocation: force growth at EVERY head_ offset of
+// the initial 64-slot arena — including the offsets where the live window
+// wraps the arena end — and verify FIFO order and at(i) indexing survive.
+TEST(RingBufferTest, GrowPreservesWindowAtEveryHeadOffset) {
+  constexpr int kInitialCapacity = 64;
+  for (int offset = 0; offset < kInitialCapacity; ++offset) {
+    RingBuffer<int> rb;
+    // Interleaved push/pop history: advance head_ to `offset` while leaving
+    // the buffer non-empty, so the live window starts mid-arena.
+    for (int i = 0; i < offset; ++i) {
+      rb.push_back(-1);
+    }
+    for (int i = 0; i < offset; ++i) {
+      rb.pop_front();
+    }
+    // Fill to capacity: for any offset > 0 the window now wraps the arena.
+    std::vector<int> expect;
+    for (int i = 0; i < kInitialCapacity; ++i) {
+      rb.push_back(offset * 1000 + i);
+      expect.push_back(offset * 1000 + i);
+    }
+    // This push triggers Grow() with head_ == offset.
+    rb.push_back(offset * 1000 + kInitialCapacity);
+    expect.push_back(offset * 1000 + kInitialCapacity);
+
+    ASSERT_EQ(rb.size(), expect.size()) << "offset " << offset;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(rb.at(i), expect[i]) << "offset " << offset << " index " << i;
+    }
+    for (const int want : expect) {
+      EXPECT_EQ(rb.front(), want) << "offset " << offset;
+      rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty()) << "offset " << offset;
+  }
+}
+
+// push_back takes its argument by value so a push of the buffer's own element
+// survives the relocation a full-capacity push triggers.
+TEST(RingBufferTest, PushOfOwnElementSurvivesGrowth) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 64; ++i) {
+    rb.push_back(i + 100);
+  }
+  rb.push_back(rb.front());  // grows exactly here
+  EXPECT_EQ(rb.size(), 65u);
+  EXPECT_EQ(rb.at(64), 100);
 }
 
 TEST(TimeTest, UnitConversions) {

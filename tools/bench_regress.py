@@ -18,7 +18,10 @@ Two modes:
           too-good number means the committed snapshot is stale or the
           measurement is broken, and should be re-recorded deliberately, or
         * a benchmark present in BASELINE but missing from CANDIDATE
-          (pass --allow-missing to tolerate deliberate removals).
+          (pass --allow-missing to tolerate deliberate removals), or
+        * a sweep benchmark reporting speedup/jobs on only ONE side — the
+          efficiency gate cannot run, and a silently skipped gate is itself a
+          failure (--allow-missing tolerates this too).
 
 Per-metric thresholds are set with repeatable --metric-threshold flags, e.g.
   --metric-threshold sim_events_per_s=60 --metric-threshold efficiency=50
@@ -152,6 +155,17 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
         # documents report it, independently of any throughput fields.
         base_eff = efficiency_of(base)
         cand_eff = efficiency_of(cand)
+        if (base_eff is None) != (cand_eff is None):
+            # One side has speedup/jobs and the other does not: the efficiency
+            # gate would silently skip, which is how a sweep benchmark that
+            # stops reporting its scaling numbers sneaks past the gate. Treat
+            # asymmetric presence like a dropped benchmark: explicit failure
+            # unless --allow-missing waves it through.
+            side = "candidate" if cand_eff is None else "baseline"
+            flag = "" if allow_missing else f"  << MISSING METRIC (efficiency: no speedup/jobs in {side})"
+            print(f"{name + ' [eff]':32} {'(asymmetric speedup/jobs)':>29}{flag}")
+            if not allow_missing:
+                failed.append(name)
         if base_eff is not None and cand_eff is not None:
             eff_threshold = metric_thresholds["efficiency"]
             ratio, flag = gate_both_ways(name, "efficiency", base_eff, cand_eff,

@@ -13,7 +13,9 @@ Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
     never gate, even when the wall time balloons;
   * gated metrics (sim_events_per_s, sweep efficiency = speedup/jobs) fail in
     BOTH directions: a collapse and a suspiciously large improvement both
-    exit 1, and --metric-threshold overrides the per-metric band.
+    exit 1, and --metric-threshold overrides the per-metric band;
+  * speedup/jobs present on only one side (either direction) fails instead of
+    silently skipping the efficiency gate; --allow-missing tolerates it.
 
 Usage: bench_regress_test.py [DATA_DIR]   (default: ../tests/data next to
 this script, so it runs both from the source tree and from CTest).
@@ -150,6 +152,28 @@ def main():
             failures += check(label, ok, out)
         finally:
             os.unlink(candidate)
+
+    # Asymmetric speedup/jobs presence: if either side drops the fields the
+    # efficiency gate cannot run, and the silent skip must become an explicit
+    # failure (waved through only by --allow-missing).
+    def drop_speedup(bench):
+        if bench["name"] == "sweep_parallel":
+            bench.pop("speedup", None)
+            bench.pop("jobs", None)
+
+    no_eff = mutated(wall_only, drop_speedup)
+    try:
+        code, out = run_gate(wall_only, no_eff)
+        failures += check("candidate dropping speedup/jobs fails the gate",
+                          code == 1 and "MISSING METRIC (efficiency" in out, out)
+        code, out = run_gate(no_eff, wall_only)
+        failures += check("baseline without speedup/jobs fails the gate too",
+                          code == 1 and "MISSING METRIC (efficiency" in out, out)
+        code, out = run_gate(wall_only, no_eff, "--allow-missing")
+        failures += check("--allow-missing tolerates asymmetric speedup/jobs",
+                          code == 0, out)
+    finally:
+        os.unlink(no_eff)
 
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)

@@ -149,6 +149,8 @@ tmh::Scenario Shrink(const tmh::Scenario& original, const Flags& flags) {
     if (StillFails(candidate, flags)) best = candidate;
   };
   try_change([](tmh::Scenario& s) { s.with_interactive = false; });
+  try_change([](tmh::Scenario& s) { s.monitor = false; });
+  try_change([](tmh::Scenario& s) { s.monitor_protect = false; });
   try_change([](tmh::Scenario& s) { s.local_partition_divisor = 0; });
   try_change([](tmh::Scenario& s) { s.notify_threshold = 0; });
   try_change([](tmh::Scenario& s) { s.maxrss_divisor = 0; });

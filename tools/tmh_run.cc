@@ -47,6 +47,9 @@ struct Flags {
   int prefetch_threads = 8;
   bool drain_newest_first = false;
   bool checks = false;  // attach the invariant checker + differential oracle
+  bool monitor = false;          // online access monitoring + cold-region releases
+  bool monitor_protect = false;  // also re-set reference bits for hot regions
+  double monitor_period_ms = 0;  // 0 = library default sample period
   bool json = false;
   int jobs = 0;  // sweep-mode worker threads; 0 = all cores
 };
@@ -71,6 +74,10 @@ void PrintUsage() {
       "  --drain-mru         drain buffered releases newest-first\n"
       "  --checks            cross-validate kernel state against the reference\n"
       "                      oracle after every event (slow; exits 1 on violation)\n"
+      "  --monitor           sample the app's access pattern online and release\n"
+      "                      cold regions without compiler hints\n"
+      "  --monitor-protect   also shield hot regions from the paging daemon\n"
+      "  --monitor-period MS monitor sample period in milliseconds  [20]\n"
       "  --trace PATH        write a time-series CSV to PATH\n"
       "  --html PATH         write a standalone HTML trace report to PATH\n"
       "  --trace-out PATH    write a Chrome tracing JSON of kernel events to PATH\n"
@@ -148,6 +155,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->drain_newest_first = true;
     } else if (arg == "--checks") {
       flags->checks = true;
+    } else if (arg == "--monitor") {
+      flags->monitor = true;
+    } else if (arg == "--monitor-protect") {
+      flags->monitor = true;
+      flags->monitor_protect = true;
+    } else if (arg == "--monitor-period") {
+      flags->monitor = true;
+      flags->monitor_period_ms = std::atof(next("--monitor-period"));
+      if (flags->monitor_period_ms <= 0) {
+        std::fprintf(stderr, "--monitor-period must be > 0\n");
+        std::exit(2);
+      }
     } else if (arg == "--json") {
       flags->json = true;
     } else if (arg == "--trace") {
@@ -215,6 +234,12 @@ tmh::ExperimentSpec SpecFor(const Flags& flags, const tmh::WorkloadInfo& info,
   spec.runtime.num_prefetch_threads = flags.prefetch_threads;
   spec.runtime.drain_newest_first = flags.drain_newest_first;
   spec.checks = flags.checks;
+  spec.monitor = flags.monitor;
+  spec.monitor_config.protect_hot = flags.monitor_protect;
+  if (flags.monitor_period_ms > 0) {
+    spec.monitor_config.sample_period =
+        static_cast<tmh::SimDuration>(flags.monitor_period_ms * tmh::kMsec);
+  }
   return spec;
 }
 
@@ -307,6 +332,20 @@ void PrintJson(const Flags& flags, const tmh::WorkloadInfo& info,
                                    result.kernel.rescued_release_freed));
   std::printf("  \"swap\": {\"reads\": %llu, \"writes\": %llu}",
               (unsigned long long)result.swap_reads, (unsigned long long)result.swap_writes);
+  if (result.monitor.has_value()) {
+    const tmh::MonitorStats& mo = *result.monitor;
+    std::printf(",\n  \"monitor\": {\"ticks\": %llu, \"aggregations\": %llu, "
+                "\"samples_armed\": %llu, \"samples_hit\": %llu, \"max_regions\": %llu, "
+                "\"splits\": %llu, \"merges\": %llu, \"cold_pages_enqueued\": %llu, "
+                "\"hot_pages_protected\": %llu, \"soft_faults\": %llu}",
+                (unsigned long long)mo.ticks, (unsigned long long)mo.aggregations,
+                (unsigned long long)mo.samples_armed, (unsigned long long)mo.samples_hit,
+                (unsigned long long)mo.max_regions_seen, (unsigned long long)mo.region_splits,
+                (unsigned long long)mo.region_merges,
+                (unsigned long long)mo.cold_pages_enqueued,
+                (unsigned long long)mo.hot_pages_protected,
+                (unsigned long long)result.kernel.monitor_soft_faults);
+  }
   if (result.interactive.has_value()) {
     const tmh::InteractiveMetrics& im = *result.interactive;
     std::printf(",\n  \"interactive\": {\"sweeps\": %lld, \"mean_response_ms\": %.4f, "
@@ -454,6 +493,18 @@ int main(int argc, char** argv) {
   counters.AddRow({"local evictions", tmh::FormatCount(result.kernel.local_evictions)});
   counters.AddRow({"pages rescued", tmh::FormatCount(result.kernel.rescued_daemon_freed +
                                                      result.kernel.rescued_release_freed)});
+  if (result.monitor.has_value()) {
+    const tmh::MonitorStats& mo = *result.monitor;
+    counters.AddRow({"monitor samples (hits)", tmh::FormatCount(mo.samples_armed) + " (" +
+                                                   tmh::FormatCount(mo.samples_hit) + ")"});
+    counters.AddRow({"monitor regions (max)", tmh::FormatCount(mo.max_regions_seen)});
+    counters.AddRow({"monitor splits / merges", tmh::FormatCount(mo.region_splits) + " / " +
+                                                    tmh::FormatCount(mo.region_merges)});
+    counters.AddRow({"monitor cold releases", tmh::FormatCount(mo.cold_pages_enqueued)});
+    counters.AddRow({"monitor hot protects", tmh::FormatCount(mo.hot_pages_protected)});
+    counters.AddRow(
+        {"monitor soft faults", tmh::FormatCount(result.kernel.monitor_soft_faults)});
+  }
   if (result.app.runtime.has_value()) {
     const tmh::RuntimeStats& rt = *result.app.runtime;
     counters.AddRow({"prefetch hints (filtered)",
