@@ -192,11 +192,16 @@ EndToEndResult Fig07StyleRun(int repeats, bool monitor = false) {
 // every version, scale 0.05) run serially and then on a `jobs`-thread pool.
 // Wall time is machine-dependent, so bench_regress.py reports the delta but
 // does not gate on it; `tables_identical` is the determinism check — the
-// rendered table must not depend on the jobs count.
+// rendered table must not depend on the jobs count. `cpus` (the scheduler
+// affinity count) and `workers` (the threads the pool actually spawned) are
+// recorded so the efficiency gate holds speedup to min(jobs, cpus), the
+// ceiling the machine can actually reach, instead of the requested jobs.
 struct SweepBenchResult {
   double serial_wall_s = 0;
   double parallel_wall_s = 0;
   int jobs = 0;
+  int cpus = 0;
+  int workers = 0;
   double speedup = 0;
   bool tables_identical = false;
 };
@@ -261,6 +266,8 @@ SweepBenchResult SweepFig07Parallel(const std::vector<double>& scales, int jobs,
   };
   SweepBenchResult out;
   out.jobs = jobs;
+  out.cpus = AvailableCpus();
+  out.workers = SweepRunner(SweepOptions{jobs}).EffectiveWorkers(specs.size());
   std::string serial_table;
   std::string parallel_table;
   out.serial_wall_s = leg(1, &serial_table);
@@ -293,10 +300,12 @@ void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
   auto emit_sweep = [f](const char* name, const SweepBenchResult& s, bool last) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.4f, "
-                 "\"serial_wall_s\": %.4f, \"jobs\": %d, \"speedup\": %.2f, "
+                 "\"serial_wall_s\": %.4f, \"jobs\": %d, \"cpus\": %d, "
+                 "\"workers\": %d, \"speedup\": %.2f, "
                  "\"tables_identical\": %s}%s\n",
-                 name, s.parallel_wall_s, s.serial_wall_s, s.jobs, s.speedup,
-                 s.tables_identical ? "true" : "false", last ? "" : ",");
+                 name, s.parallel_wall_s, s.serial_wall_s, s.jobs, s.cpus,
+                 s.workers, s.speedup, s.tables_identical ? "true" : "false",
+                 last ? "" : ",");
   };
   emit_sweep("sweep_fig07_parallel", sweep, /*last=*/false);
   emit_sweep("sweep_fig07_parallel_large", sweep_large, /*last=*/true);

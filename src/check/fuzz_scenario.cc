@@ -75,6 +75,16 @@ Scenario MakeScenario(uint64_t seed, const ScenarioOptions& options) {
     s.monitor_max_regions = rng.NextInRange(16, 128);
     s.monitor_protect = rng.NextBelow(2) == 0;
   }
+  // Multi-tenant draws, appended after every pre-existing draw (see the
+  // Scenario comment): sharded frame pools and tenant arrival timing.
+  if (rng.NextBelow(3) == 0) {
+    s.num_nodes = static_cast<int>(2 + rng.NextBelow(7));  // 2..8 nodes
+  }
+  if (rng.NextBelow(4) == 0) {
+    s.storm_delay = rng.NextInRange(50, 400) * kMsec;
+  } else if (rng.NextBelow(3) == 0) {
+    s.churn_stagger = rng.NextInRange(100, 800) * kMsec;
+  }
   return s;
 }
 
@@ -82,6 +92,7 @@ MultiExperimentSpec ToSpec(const Scenario& scenario) {
   MultiExperimentSpec spec;
   spec.machine.user_memory_bytes = scenario.user_memory_mb * 1024 * 1024;
   spec.machine.page_size_bytes = scenario.page_size_kb * 1024;
+  spec.machine.num_nodes = scenario.num_nodes;
   if (scenario.local_partition_divisor > 0) {
     spec.machine.tunables.local_partition_pages =
         spec.machine.num_frames() / scenario.local_partition_divisor;
@@ -113,6 +124,14 @@ MultiExperimentSpec ToSpec(const Scenario& scenario) {
     multi.runtime.release_batch = app.release_batch;
     multi.runtime.drain_newest_first = app.drain_newest_first;
     multi.runtime.num_prefetch_threads = app.num_prefetch_threads;
+    // Tenant arrival timing: a storm delays every app but the first to one
+    // shared instant; churn staggers arrivals app-by-app.
+    const auto index = static_cast<int64_t>(spec.apps.size());
+    if (scenario.storm_delay > 0 && index > 0) {
+      multi.start_delay = scenario.storm_delay;
+    } else if (scenario.churn_stagger > 0) {
+      multi.start_delay = index * scenario.churn_stagger;
+    }
     spec.apps.push_back(std::move(multi));
   }
   if (scenario.monitor) {
@@ -144,6 +163,15 @@ std::string Describe(const Scenario& scenario) {
   }
   if (scenario.daemon_period > 0) {
     os << " daemon_period=" << scenario.daemon_period / kMsec << "ms";
+  }
+  if (scenario.num_nodes > 1) {
+    os << " nodes=" << scenario.num_nodes;
+  }
+  if (scenario.storm_delay > 0) {
+    os << " storm_delay=" << scenario.storm_delay / kMsec << "ms";
+  }
+  if (scenario.churn_stagger > 0) {
+    os << " churn_stagger=" << scenario.churn_stagger / kMsec << "ms";
   }
   os << "\n  interactive: "
      << (scenario.with_interactive

@@ -62,6 +62,14 @@ struct Scenario {
   SimDuration monitor_period = 0;
   int64_t monitor_max_regions = 0;
   bool monitor_protect = false;
+  // Multi-tenant draws (appended after the monitor draws so enabling them
+  // never reshapes pre-existing seeds). num_nodes > 1 shards the frame pool;
+  // storm_delay > 0 holds every app but the first until one shared arrival
+  // time (a pressure storm); churn_stagger > 0 staggers arrivals so earlier
+  // tenants finish and leave residue while later ones are still running.
+  int num_nodes = 1;
+  SimDuration storm_delay = 0;
+  SimDuration churn_stagger = 0;
 };
 
 // Derives the scenario for `seed` (pure function of seed and options).

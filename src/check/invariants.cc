@@ -127,10 +127,12 @@ std::string InvariantChecker::TailDump() const {
 void InvariantChecker::Validate(Kernel& kernel) {
   const SimTime now = kernel.Now();
   const FrameTable& frames = kernel.frames();
-  const FreeList& free_list = kernel.free_list();
+  const FramePool& free_list = kernel.free_list();
   const int64_t num_frames = frames.size();
 
-  // I-FL: walk the intrusive links into a snapshot and check its structure.
+  // I-FL: walk the intrusive links of every node's list into one snapshot
+  // (node order) and check its structure, plus per-node range containment —
+  // a shard must only ever hold frames from its own contiguous range.
   const std::vector<FrameId> free_vec = free_list.ToVector();
   if (static_cast<int64_t>(free_vec.size()) != free_list.size()) {
     Fail(now, "I-FL",
@@ -154,6 +156,26 @@ void InvariantChecker::Validate(Kernel& kernel) {
       Fail(now, "I-FL",
            "free frame " + std::to_string(f) + " is " +
                (fr.mapped ? "mapped" : fr.io_busy ? "io-busy" : "dirty"));
+      return;
+    }
+  }
+  for (int node = 0; node < free_list.num_nodes(); ++node) {
+    int64_t walked = 0;
+    for (const FrameId f : free_list.NodeToVector(node)) {
+      ++walked;
+      if (free_list.NodeOf(f) != node) {
+        Fail(now, "I-FL",
+             "node " + std::to_string(node) + " free list holds frame " +
+                 std::to_string(f) + " owned by node " +
+                 std::to_string(free_list.NodeOf(f)));
+        return;
+      }
+    }
+    if (walked != free_list.node_size(node)) {
+      Fail(now, "I-FL",
+           "node " + std::to_string(node) + " link walk found " +
+               std::to_string(walked) + " frames but node_size() is " +
+               std::to_string(free_list.node_size(node)));
       return;
     }
   }
@@ -326,13 +348,23 @@ void InvariantChecker::Validate(Kernel& kernel) {
     }
   }
 
-  // Oracle cross-validation: the reference model must agree exactly.
+  // Oracle cross-validation: the reference model must agree exactly,
+  // node by node (byte-honest per node).
   if (options_.with_oracle) {
-    const std::deque<FrameId>& ofree = oracle_.free_list();
-    if (ofree.size() != free_vec.size() ||
-        !std::equal(ofree.begin(), ofree.end(), free_vec.begin())) {
-      Fail(now, "oracle", "free-list order differs from the reference model");
+    if (oracle_.num_nodes() != free_list.num_nodes()) {
+      Fail(now, "oracle", "node count differs from the reference model");
       return;
+    }
+    for (int node = 0; node < free_list.num_nodes(); ++node) {
+      const std::deque<FrameId>& ofree = oracle_.free_node(node);
+      const std::vector<FrameId> kfree = free_list.NodeToVector(node);
+      if (ofree.size() != kfree.size() ||
+          !std::equal(ofree.begin(), ofree.end(), kfree.begin())) {
+        Fail(now, "oracle",
+             "node " + std::to_string(node) +
+                 " free-list order differs from the reference model");
+        return;
+      }
     }
     for (const auto& as_ptr : address_spaces) {
       const AddressSpace& as = *as_ptr;

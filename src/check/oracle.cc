@@ -13,8 +13,16 @@ void VmOracle::SeedFromKernel(const Kernel& kernel) {
   mapped_.clear();
   dirty_.clear();
   writeback_.clear();
-  const std::vector<FrameId> fl = kernel.free_list().ToVector();
-  free_.assign(fl.begin(), fl.end());
+  // Re-derive the sharded pool's shape, then snapshot each node's list.
+  const FramePool& pool = kernel.free_list();
+  frames_per_node_ = pool.frames_per_node();
+  free_.resize(static_cast<size_t>(pool.num_nodes()));
+  total_free_ = 0;
+  for (int node = 0; node < pool.num_nodes(); ++node) {
+    const std::vector<FrameId> fl = pool.NodeToVector(node);
+    free_[static_cast<size_t>(node)].assign(fl.begin(), fl.end());
+    total_free_ += static_cast<int64_t>(fl.size());
+  }
   for (const auto& as : kernel.address_spaces()) {
     std::map<VPage, FrameId>& pages = resident_[as->id()];
     for (VPage v = 0; v < as->num_pages(); ++v) {
@@ -58,14 +66,17 @@ int64_t VmOracle::ResidentCount(AsId as) const {
 }
 
 int64_t VmOracle::UpperLimit(AsId as) const {
-  const int64_t upper = std::min(
-      maxrss_pages_,
-      ResidentCount(as) + static_cast<int64_t>(free_.size()) - min_freemem_pages_);
+  // Eq. 1 sees total free memory: shards partition the pool, they do not
+  // change how much of it is free.
+  const int64_t upper =
+      std::min(maxrss_pages_, ResidentCount(as) + total_free_ - min_freemem_pages_);
   return std::max<int64_t>(upper, 0);
 }
 
 bool VmOracle::InFreeList(FrameId f) const {
-  return std::find(free_.begin(), free_.end(), f) != free_.end();
+  // A frame can only ever be on its owning node's list.
+  const std::deque<FrameId>& node = free_[static_cast<size_t>(NodeOf(f))];
+  return std::find(node.begin(), node.end(), f) != node.end();
 }
 
 void VmOracle::Diverge(const VmHookEvent& event, const std::string& what) {
@@ -85,20 +96,31 @@ void VmOracle::Apply(const VmHookEvent& event) {
   }
   switch (event.op) {
     case VmHookOp::kAlloc: {
-      if (free_.empty()) {
+      if (total_free_ == 0) {
         Diverge(event, "allocation from an empty free list");
         return;
       }
-      if (free_.front() != event.frame) {
-        Diverge(event, "allocation did not pop the free-list head (model head=" +
-                           std::to_string(free_.front()) + ")");
+      // The pool must serve the faulting process's home node (as % nodes),
+      // falling back to the nearest non-empty node in ascending wrap order.
+      const int nodes = num_nodes();
+      const int home = static_cast<int>(event.as % nodes);
+      int node = home;
+      while (free_[static_cast<size_t>(node)].empty()) {
+        node = (node + 1) % nodes;
+      }
+      std::deque<FrameId>& list = free_[static_cast<size_t>(node)];
+      if (list.front() != event.frame) {
+        Diverge(event, "allocation did not pop the free-list head of node " +
+                           std::to_string(node) + " (model head=" +
+                           std::to_string(list.front()) + ")");
         return;
       }
       if (dirty_.count(event.frame) != 0) {
         Diverge(event, "allocated frame is dirty in the model");
         return;
       }
-      free_.pop_front();
+      list.pop_front();
+      --total_free_;
       break;
     }
     case VmHookOp::kMap: {
@@ -148,20 +170,26 @@ void VmOracle::Apply(const VmHookEvent& event) {
         Diverge(event, "freeing a dirty frame without a writeback");
         return;
       }
+      // Pushes route to the pushed frame's node — never the freeing
+      // process's — so a shard only ever holds its own frame range.
+      std::deque<FrameId>& list = free_[static_cast<size_t>(NodeOf(event.frame))];
       if (event.op == VmHookOp::kFreePushHead) {
-        free_.push_front(event.frame);
+        list.push_front(event.frame);
       } else {
-        free_.push_back(event.frame);
+        list.push_back(event.frame);
       }
+      ++total_free_;
       break;
     }
     case VmHookOp::kRescue: {
-      const auto it = std::find(free_.begin(), free_.end(), event.frame);
-      if (it == free_.end()) {
+      std::deque<FrameId>& list = free_[static_cast<size_t>(NodeOf(event.frame))];
+      const auto it = std::find(list.begin(), list.end(), event.frame);
+      if (it == list.end()) {
         Diverge(event, "rescue of a frame not on the model free list");
         return;
       }
-      free_.erase(it);
+      list.erase(it);
+      --total_free_;
       ++rescues_;
       break;
     }

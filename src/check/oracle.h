@@ -1,11 +1,18 @@
 // Differential reference model ("oracle") for the VM subsystem.
 //
 // A deliberately simple shadow of the kernel's memory state: the free list is
-// a plain deque, residency is a map per address space, the dirty set is a
-// std::set. No wheels, no sentinels, no intrusive links, no small-buffer
-// tricks — the point is that this model is simple enough to be obviously
-// correct, so any disagreement with the optimized kernel implicates the
-// kernel (or a missing hook), not the model.
+// a plain deque per memory node, residency is a map per address space, the
+// dirty set is a std::set. No wheels, no sentinels, no intrusive links, no
+// small-buffer tricks — the point is that this model is simple enough to be
+// obviously correct, so any disagreement with the optimized kernel implicates
+// the kernel (or a missing hook), not the model.
+//
+// The model is byte-honest per node: it re-derives the kernel's frame->node
+// partition (contiguous ranges) and home-node rule (as_id % nodes) from the
+// machine shape alone, routes every push to the pushed frame's node, and
+// demands that every allocation pop the head of the first non-empty node
+// deque in wrap order from the faulting process's home node — exactly the
+// sharded pool's behavior, independently recomputed.
 //
 // The oracle replays the kernel-visible operation stream (src/os/vm_hooks.h):
 // frame allocation, map/unmap, free-list pushes, rescues, writebacks, dirty
@@ -23,6 +30,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/os/vm_hooks.h"
 #include "src/vm/types.h"
@@ -46,7 +54,18 @@ class VmOracle {
 
   // --- model views (for the invariant checker and tests) ---------------------
 
-  [[nodiscard]] const std::deque<FrameId>& free_list() const { return free_; }
+  // Per-node free lists, head-to-tail allocation order.
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(free_.size()); }
+  [[nodiscard]] const std::deque<FrameId>& free_node(int node) const {
+    return free_[static_cast<size_t>(node)];
+  }
+  // Total free frames across nodes.
+  [[nodiscard]] int64_t FreeCount() const { return total_free_; }
+  // The node owning `f`'s frame range (the kernel's contiguous partition,
+  // re-derived independently).
+  [[nodiscard]] int NodeOf(FrameId f) const {
+    return static_cast<int>(f / frames_per_node_);
+  }
   [[nodiscard]] bool IsResident(AsId as, VPage vpage) const;
   // Frame the model believes backs (as, vpage), or kNoFrame.
   [[nodiscard]] FrameId FrameOf(AsId as, VPage vpage) const;
@@ -68,7 +87,11 @@ class VmOracle {
   void Diverge(const VmHookEvent& event, const std::string& what);
   [[nodiscard]] bool InFreeList(FrameId f) const;
 
-  std::deque<FrameId> free_;                       // head-to-tail allocation order
+  // One deque per memory node. Default-constructed (unseeded) oracles model a
+  // single node covering every frame, matching the historical flat list.
+  std::vector<std::deque<FrameId>> free_ = std::vector<std::deque<FrameId>>(1);
+  int64_t total_free_ = 0;
+  int64_t frames_per_node_ = INT64_MAX;
   std::map<AsId, std::map<VPage, FrameId>> resident_;
   std::map<FrameId, std::pair<AsId, VPage>> mapped_;  // reverse of resident_
   std::set<FrameId> dirty_;

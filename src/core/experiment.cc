@@ -92,8 +92,31 @@ struct LaunchedApp {
   std::shared_ptr<const CompiledProgram> compiled;
   std::unique_ptr<RuntimeLayer> runtime;
   std::unique_ptr<Interpreter> interp;
+  std::unique_ptr<Program> delayed;  // start_delay wrapper, when used
   AddressSpace* as = nullptr;
   Thread* thread = nullptr;
+};
+
+// Delays a program's first instruction by a fixed sleep, modeling a tenant
+// that arrives mid-run. The wrapper delegates every subsequent Next() to the
+// real program, so versions, hints, and stats are untouched — the only
+// difference from an immediate start is the one leading Op::Sleep.
+class DelayedProgram : public Program {
+ public:
+  DelayedProgram(SimDuration delay, Program* inner) : delay_(delay), inner_(inner) {}
+
+  Op Next(Kernel& kernel) override {
+    if (!slept_) {
+      slept_ = true;
+      return Op::Sleep(delay_);
+    }
+    return inner_->Next(kernel);
+  }
+
+ private:
+  SimDuration delay_;
+  Program* inner_;
+  bool slept_ = false;
 };
 
 LaunchedApp LaunchApp(Kernel& kernel, const MachineConfig& machine, const MultiAppSpec& spec,
@@ -135,7 +158,12 @@ LaunchedApp LaunchApp(Kernel& kernel, const MachineConfig& machine, const MultiA
     }
   }
   app.interp = std::make_unique<Interpreter>(app.compiled.get(), app.as, app.runtime.get());
-  app.thread = kernel.Spawn(name, app.as, app.interp.get());
+  Program* program = app.interp.get();
+  if (spec.start_delay > 0) {
+    app.delayed = std::make_unique<DelayedProgram>(spec.start_delay, program);
+    program = app.delayed.get();
+  }
+  app.thread = kernel.Spawn(name, app.as, program);
   return app;
 }
 

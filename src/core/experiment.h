@@ -144,6 +144,13 @@ struct MultiAppSpec {
   RuntimeOptions runtime;
   bool adaptive = false;
   bool oracle = false;
+  // Tenant arrival time: the app's address space exists from t=0 but its
+  // thread sleeps this long before executing its first instruction. Several
+  // apps sharing one nonzero delay spike together (a pressure storm);
+  // staggered delays model tenant churn — earlier arrivals finish and their
+  // residue is reclaimed by the daemon while later tenants are still running.
+  // 0 = the historical immediate start.
+  SimDuration start_delay = 0;
 };
 
 struct MultiExperimentSpec {

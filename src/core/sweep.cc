@@ -5,8 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace tmh {
 
@@ -108,6 +113,10 @@ std::string KeyFor(const SourceProgram& source, const CompilerTarget& target,
 
 }  // namespace
 
+CompileCache::Shard& CompileCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
 std::shared_ptr<const CompiledProgram> CompileCache::GetOrCompile(const SourceProgram& source,
                                                                   const MachineConfig& machine,
                                                                   AppVersion version,
@@ -123,12 +132,13 @@ std::shared_ptr<const CompiledProgram> CompileCache::GetOrCompile(const SourcePr
   options.oracle = oracle;
   const CompilerTarget target = TargetFor(machine);
   const std::string key = KeyFor(source, target, options);
+  Shard& shard = ShardFor(key);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = programs_.find(key);
-    if (it != programs_.end()) {
-      ++stats_.hits;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.programs.find(key);
+    if (it != shard.programs.end()) {
+      ++shard.stats.hits;
       return it->second;
     }
   }
@@ -136,20 +146,29 @@ std::shared_ptr<const CompiledProgram> CompileCache::GetOrCompile(const SourcePr
   // workers racing on the same key merely produce one discarded duplicate.
   auto compiled =
       std::make_shared<const CompiledProgram>(Compile(source, target, options));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = programs_.emplace(key, std::move(compiled));
-  ++stats_.misses;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.programs.emplace(key, std::move(compiled));
+  ++shard.stats.misses;
   return it->second;
 }
 
 CompileCache::Stats CompileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+  }
+  return total;
 }
 
 size_t CompileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return programs_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.programs.size();
+  }
+  return total;
 }
 
 int DefaultJobs() {
@@ -157,12 +176,29 @@ int DefaultJobs() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int AvailableCpus() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int cpus = CPU_COUNT(&mask);
+    if (cpus > 0) return cpus;
+  }
+#endif
+  return DefaultJobs();
+}
+
 int SweepRunner::jobs() const { return options_.jobs > 0 ? options_.jobs : DefaultJobs(); }
+
+int SweepRunner::EffectiveWorkers(size_t tasks) const {
+  const size_t capped = std::min<size_t>(
+      std::min<size_t>(static_cast<size_t>(jobs()), static_cast<size_t>(AvailableCpus())),
+      tasks);
+  return capped > 0 ? static_cast<int>(capped) : 1;
+}
 
 void SweepRunner::RunTasks(std::vector<std::function<void()>> tasks) {
   const size_t n = tasks.size();
-  const int workers =
-      static_cast<int>(std::min<size_t>(static_cast<size_t>(jobs()), n));
+  const int workers = EffectiveWorkers(n);
   if (workers <= 1) {
     for (std::function<void()>& task : tasks) {
       task();

@@ -27,6 +27,7 @@
 #ifndef TMH_SRC_CORE_SWEEP_H_
 #define TMH_SRC_CORE_SWEEP_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,8 +52,12 @@ namespace tmh {
 // workloads built from different seeds never collide — plus the
 // CompilerTarget and the derived CompileOptions.
 //
-// Thread-safe: a single mutex guards the map (compilation itself runs outside
-// the lock; a racing duplicate compile is discarded, first insert wins).
+// Thread-safe and sharded: the key space is split over 16 independently
+// locked shards (by key hash), so concurrent workers looking up *different*
+// programs never contend on one mutex — with a single global lock, a
+// figure-scale sweep serialized every worker through the cache on each of the
+// hundreds of per-spec lookups. Compilation itself runs outside any lock; a
+// racing duplicate compile is discarded, first insert wins.
 class CompileCache {
  public:
   std::shared_ptr<const CompiledProgram> GetOrCompile(const SourceProgram& source,
@@ -68,9 +73,15 @@ class CompileCache {
   [[nodiscard]] size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledProgram>> programs_;
-  Stats stats_;
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const CompiledProgram>> programs;
+    Stats stats;
+  };
+  [[nodiscard]] Shard& ShardFor(const std::string& key) const;
+
+  mutable std::array<Shard, kShards> shards_;
 };
 
 struct SweepOptions {
@@ -81,13 +92,25 @@ struct SweepOptions {
 // Number of workers a default-constructed SweepRunner uses (>= 1).
 int DefaultJobs();
 
+// CPUs this process may actually run on (the scheduler affinity mask when the
+// platform exposes one, else hardware_concurrency; >= 1). Distinct from
+// DefaultJobs: a container or taskset can restrict a 64-core box to 1 CPU.
+int AvailableCpus();
+
 class SweepRunner {
  public:
   SweepRunner() = default;
   explicit SweepRunner(const SweepOptions& options) : options_(options) {}
 
-  // The effective worker count (>= 1).
+  // The requested worker count (>= 1).
   [[nodiscard]] int jobs() const;
+
+  // Workers actually spawned for a grid of `tasks` tasks:
+  // min(jobs(), AvailableCpus(), tasks). Spawning more threads than runnable
+  // CPUs is pure overhead for this CPU-bound workload — on a 1-CPU cgroup an
+  // 8-thread pool context-switches its way *below* serial throughput, which
+  // is how "parallel" sweeps end up with speedup <= 1.0.
+  [[nodiscard]] int EffectiveWorkers(size_t tasks) const;
 
   // Runs every spec to completion and returns the results in spec order.
   // Deterministic: results (and anything rendered from them) are identical

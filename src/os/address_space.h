@@ -105,6 +105,17 @@ class AddressSpace {
   [[nodiscard]] int64_t header_free_snapshot() const { return header_free_snapshot_; }
   void set_header_free_snapshot(int64_t free_pages) { header_free_snapshot_ = free_pages; }
 
+  // Home memory node (NUMA-style shard) assigned by the kernel at creation:
+  // id % num_nodes. Allocation prefers this node's free list.
+  [[nodiscard]] int home_node() const { return home_node_; }
+  void set_home_node(int node) { home_node_ = node; }
+
+  // Whether the kernel's over-maxrss index currently lists this AS. Cached
+  // here so the index is touched only when the resident count actually
+  // crosses the maxrss boundary (O(1) on every other map/unmap).
+  [[nodiscard]] bool over_maxrss_marked() const { return over_maxrss_marked_; }
+  void set_over_maxrss_marked(bool marked) { over_maxrss_marked_ = marked; }
+
   // Per-process clock cursor for the local-replacement extension.
   [[nodiscard]] VPage local_clock_cursor() const { return local_clock_cursor_; }
   void set_local_clock_cursor(VPage cursor) { local_clock_cursor_ = cursor; }
@@ -138,6 +149,8 @@ class AddressSpace {
   EvictionHandler eviction_handler_;
   int64_t header_free_snapshot_ = 0;
   VPage local_clock_cursor_ = 0;
+  int home_node_ = 0;
+  bool over_maxrss_marked_ = false;
   AsStats stats_;
 };
 

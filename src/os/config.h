@@ -87,6 +87,12 @@ struct Tunables {
 
 struct MachineConfig {
   int num_cpus = 4;
+  // Memory nodes (NUMA-style shards). The frame range is partitioned
+  // contiguously; each node gets its own free list and paging-daemon clock
+  // hand. 1 (the paper's single-node Origin 200) reproduces the historical
+  // single-list behavior exactly; capped at FramePool::kMaxNodes (64) so the
+  // allocation fallback stays O(1) via a single occupancy word.
+  int num_nodes = 1;
   int64_t page_size_bytes = 16 * 1024;
   int64_t user_memory_bytes = 75ll * 1024 * 1024;
   SimDuration quantum = 10 * kMsec;

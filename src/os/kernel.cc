@@ -20,12 +20,17 @@ constexpr int kMaxOpsPerSlice = 1 << 20;
 }  // namespace
 
 Kernel::Kernel(const MachineConfig& config)
-    : config_(config), frames_(config.num_frames()), free_list_(config.num_frames()) {
+    : config_(config),
+      frames_(config.num_frames()),
+      free_list_(config.num_frames(), config.num_nodes) {
   swap_ = std::make_unique<SwapSpace>(&queue_, config.swap, config.page_size_bytes);
-  // All frames start free; freshly booted machine.
+  // All frames start free; freshly booted machine. Tail pushes in ascending
+  // frame order so each node's list starts as its own frame range in order
+  // (and the 1-node list is exactly the historical 0..n-1 sequence).
   for (FrameId f = 0; f < config.num_frames(); ++f) {
     free_list_.PushTail(f);
   }
+  node_allocations_.assign(static_cast<size_t>(free_list_.num_nodes()), 0);
 }
 
 Kernel::~Kernel() = default;
@@ -34,6 +39,9 @@ AddressSpace* Kernel::CreateAddressSpace(const std::string& name, int64_t bytes)
   const VPage pages = config_.BytesToPages(bytes);
   auto as = std::make_unique<AddressSpace>(static_cast<AsId>(address_spaces_.size()), name,
                                            pages, next_swap_slot_);
+  // Fixed deterministic placement (id % nodes) so the differential oracle can
+  // replicate the home-node choice without being told.
+  as->set_home_node(static_cast<int>(as->id() % free_list_.num_nodes()));
   next_swap_slot_ += pages;
   address_spaces_.push_back(std::move(as));
   if (TMH_UNLIKELY(observing_)) {
@@ -449,10 +457,11 @@ void Kernel::ReleaseLock(Thread* t, MemoryLock& lock) {
 // --- memory helpers ----------------------------------------------------------
 
 FrameId Kernel::AllocateFrame(AddressSpace* as, VPage vpage) {
-  const FrameId f = free_list_.PopHead();
+  const FrameId f = free_list_.PopHead(as->home_node());
   if (f == kNoFrame) {
     return kNoFrame;
   }
+  ++node_allocations_[static_cast<size_t>(free_list_.NodeOf(f))];
   if (TMH_UNLIKELY(observing_)) {
     freed_at_.erase(f);  // handed out, not rescued: forget the free timestamp
   }
@@ -489,6 +498,7 @@ void Kernel::MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate) {
   frames_.set_contents_valid(f, true);
   frames_.set_freed_by(f, FreedBy::kNone);
   as->page_table().IncrementResident();
+  UpdateOverMaxrss(as);
   if (as->HasPagingDirected()) {
     as->bitmap()->Set(vpage);
   }
@@ -508,6 +518,7 @@ void Kernel::UnmapFrame(AddressSpace* as, VPage vpage, FreedBy freed_by) {
   frames_.set_contents_valid(f, true);
   frames_.set_freed_by(f, freed_by);
   as->page_table().DecrementResident();
+  UpdateOverMaxrss(as);
   if (as->HasPagingDirected()) {
     as->bitmap()->Clear(vpage);
   }

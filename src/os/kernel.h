@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,8 +32,8 @@
 #include "src/sim/metrics.h"
 #include "src/sim/ring_buffer.h"
 #include "src/sim/trace.h"
+#include "src/vm/frame_pool.h"
 #include "src/vm/frame_table.h"
-#include "src/vm/free_list.h"
 
 namespace tmh {
 
@@ -174,9 +175,24 @@ class Kernel {
   [[nodiscard]] const MachineConfig& config() const { return config_; }
   [[nodiscard]] const KernelStats& stats() const { return stats_; }
   [[nodiscard]] const FrameTable& frames() const { return frames_; }
-  [[nodiscard]] const FreeList& free_list() const { return free_list_; }
+  [[nodiscard]] const FramePool& free_list() const { return free_list_; }
   [[nodiscard]] SwapSpace& swap() { return *swap_; }
   [[nodiscard]] int64_t FreePages() const { return free_list_.size(); }
+  // Frames handed out per memory node (sharded allocation counter; the
+  // per-node isolation tests assert against this).
+  [[nodiscard]] const std::vector<uint64_t>& node_allocations() const {
+    return node_allocations_;
+  }
+  // Lowest-id address space whose resident set exceeds maxrss, or nullptr.
+  // O(1) read off an index maintained at resident-count boundary crossings —
+  // the paging daemon polls this every idle iteration, so a linear scan over
+  // hundreds of tenants would dominate its cost at scale.
+  [[nodiscard]] AddressSpace* FirstOverMaxrss() const {
+    if (TMH_LIKELY(over_maxrss_.empty())) {
+      return nullptr;
+    }
+    return address_spaces_[static_cast<size_t>(*over_maxrss_.begin())].get();
+  }
   [[nodiscard]] const std::vector<std::unique_ptr<AddressSpace>>& address_spaces() const {
     return address_spaces_;
   }
@@ -258,6 +274,22 @@ class Kernel {
     }
   }
 
+  // Keeps over_maxrss_ consistent after `as`'s resident count changed.
+  // O(1) unless the count just crossed the maxrss boundary.
+  void UpdateOverMaxrss(AddressSpace* as) {
+    const bool over =
+        as->page_table().resident_count() > config_.tunables.maxrss_pages;
+    if (TMH_LIKELY(over == as->over_maxrss_marked())) {
+      return;
+    }
+    as->set_over_maxrss_marked(over);
+    if (over) {
+      over_maxrss_.insert(as->id());
+    } else {
+      over_maxrss_.erase(as->id());
+    }
+  }
+
   // Memory helpers.
   FrameId AllocateFrame(AddressSpace* as, VPage vpage);
   void MapFrame(AddressSpace* as, VPage vpage, FrameId f, bool validate);
@@ -284,7 +316,7 @@ class Kernel {
   const MachineConfig config_;
   EventQueue queue_;
   FrameTable frames_;
-  FreeList free_list_;
+  FramePool free_list_;
   std::unique_ptr<SwapSpace> swap_;
 
   std::vector<std::unique_ptr<AddressSpace>> address_spaces_;
@@ -298,6 +330,12 @@ class Kernel {
   // Bumped on every thread transition into State::kDone. RunUntilThreadsDone
   // gates its (otherwise per-event) predicate re-evaluation on this counter.
   uint64_t done_generation_ = 1;
+
+  // Per-node allocation counters (index = memory node).
+  std::vector<uint64_t> node_allocations_;
+  // Ids of address spaces over their maxrss, ordered (lowest id first, i.e.
+  // creation order — same AS the historical linear scan would have found).
+  std::set<AsId> over_maxrss_;
 
   // Threads waiting for a free frame (fault path only; prefetches drop).
   WaitQueue memory_wait_;

@@ -61,18 +61,57 @@ Op PagingDaemon::Next(Kernel& kernel) {
 }
 
 AddressSpace* PagingDaemon::FindOverMaxrss() const {
-  const int64_t maxrss = kernel_->config_.tunables.maxrss_pages;
-  for (const auto& as : kernel_->address_spaces_) {
-    if (as->page_table().resident_count() > maxrss) {
-      return as.get();
+  return kernel_->FirstOverMaxrss();
+}
+
+AddressSpace* PagingDaemon::GatherBatch(AddressSpace* filter) {
+  Kernel& k = *kernel_;
+  const FramePool& pool = k.free_list_;
+  const int nodes = pool.num_nodes();
+  if (clock_hands_.empty()) {
+    // One hand per node, parked at the node's first frame.
+    clock_hands_.reserve(static_cast<size_t>(nodes));
+    for (int node = 0; node < nodes; ++node) {
+      clock_hands_.push_back(pool.NodeBegin(node));
+    }
+  }
+  if (nodes == 1) {
+    return GatherBatchFromNode(filter, 0);
+  }
+  // Sweep the most-pressured node first (fewest free pages; ties break to the
+  // lowest index so the choice is deterministic), then the others in wrap
+  // order until one yields a batch. When hunting a specific over-maxrss
+  // space, start at its home node instead: that is where its frames live, and
+  // starting anywhere else walks every other tenant's mapped frames
+  // one-by-one (the filter rejects them individually) before reaching the
+  // right node — O(mapped frames) per daemon cycle at scale.
+  int start = 0;
+  if (filter != nullptr) {
+    start = filter->home_node() % nodes;
+  } else {
+    for (int node = 1; node < nodes; ++node) {
+      if (pool.node_size(node) < pool.node_size(start)) {
+        start = node;
+      }
+    }
+  }
+  for (int i = 0; i < nodes; ++i) {
+    AddressSpace* as = GatherBatchFromNode(filter, (start + i) % nodes);
+    if (as != nullptr) {
+      return as;
     }
   }
   return nullptr;
 }
 
-AddressSpace* PagingDaemon::GatherBatch(AddressSpace* filter) {
+AddressSpace* PagingDaemon::GatherBatchFromNode(AddressSpace* filter, int node) {
   Kernel& k = *kernel_;
-  const int64_t n = k.frames_.size();
+  // The hand is confined to this node's frame range [base, end): per-node
+  // clock aging, so one node's pressure never ages another node's frames.
+  const int64_t base = k.free_list_.NodeBegin(node);
+  const int64_t end = k.free_list_.NodeEnd(node);
+  const int64_t n = end - base;
+  int64_t& clock_hand = clock_hands_[static_cast<size_t>(node)];
   batch_.clear();
   AddressSpace* owner = nullptr;
   const int batch_limit = k.config_.tunables.daemon_batch;
@@ -82,29 +121,29 @@ AddressSpace* PagingDaemon::GatherBatch(AddressSpace* filter) {
   // loop this replaces — `scanned_this_round_` still counts every frame the
   // hand passes over (skips included), the batch still stops at an owner
   // boundary with the hand rewound onto the boundary frame, and at most one
-  // full lap is taken per call.
+  // full lap of the node is taken per call.
   const uint64_t* mapped = k.frames_.mapped_words();
   const uint64_t* io_busy = k.frames_.io_busy_words();
   int64_t steps = 0;  // frames consumed this call, skips included
   while (steps < n) {
-    const int64_t hand = clock_hand_;
+    const int64_t hand = clock_hand;
     const int bit = static_cast<int>(hand & 63);
-    // Frames examinable in this word: bounded by the word edge, the table end
+    // Frames examinable in this word: bounded by the word edge, the node end
     // (the hand wraps there), and the one-lap step budget.
-    const int64_t max_here = std::min<int64_t>(64 - bit, std::min(n - hand, n - steps));
+    const int64_t max_here = std::min<int64_t>(64 - bit, std::min(end - hand, n - steps));
     uint64_t cand = (mapped[hand >> 6] & ~io_busy[hand >> 6]) >> bit;
     if (max_here < 64) {
       cand &= (1ULL << max_here) - 1;
     }
     if (cand == 0) {
-      clock_hand_ = (hand + max_here) % n;
+      clock_hand = base + (hand - base + max_here) % n;
       steps += max_here;
       scanned_this_round_ += max_here;
       continue;
     }
     const int64_t skip = __builtin_ctzll(cand);
     const auto f = static_cast<FrameId>(hand + skip);
-    clock_hand_ = (hand + skip + 1) % n;
+    clock_hand = base + (hand - base + skip + 1) % n;
     steps += skip + 1;
     scanned_this_round_ += skip + 1;
     AddressSpace* as = k.address_spaces_[static_cast<size_t>(k.frames_.owner(f))].get();
@@ -115,7 +154,7 @@ AddressSpace* PagingDaemon::GatherBatch(AddressSpace* filter) {
       owner = as;
     } else if (as != owner) {
       // Stop the batch at the owner boundary; rewind so this frame is next.
-      clock_hand_ = static_cast<int64_t>(f);
+      clock_hand = static_cast<int64_t>(f);
       --scanned_this_round_;
       break;
     }

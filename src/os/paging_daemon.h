@@ -38,14 +38,20 @@ class PagingDaemon : public Program {
  private:
   enum class Phase : uint8_t { kIdle, kLocked, kUnlock };
 
-  // Gathers the next batch of same-owner frames under the clock hand into
-  // batch_. If `filter` is non-null only its frames are eligible (maxrss
-  // trimming). Returns the owning address space, or nullptr if none found.
+  // Gathers the next batch of same-owner frames under the clock hands into
+  // batch_. Nodes are tried most-pressured first (fewest free pages, tie ->
+  // lowest index), each with its own hand confined to its frame range; with
+  // one node this reduces exactly to the historical single global hand. If
+  // `filter` is non-null only its frames are eligible (maxrss trimming).
+  // Returns the owning address space, or nullptr if none found.
   AddressSpace* GatherBatch(AddressSpace* filter);
+  // One clock pass over `node`'s frame range (at most one lap).
+  AddressSpace* GatherBatchFromNode(AddressSpace* filter, int node);
   // Invalidates or steals every frame in batch_ (owner's lock is held).
   // Returns the CPU cost of the work.
   SimDuration ProcessBatch();
-  // First address space whose RSS exceeds maxrss, or nullptr.
+  // First address space whose RSS exceeds maxrss, or nullptr. O(1): reads
+  // the kernel's boundary-crossing-maintained index.
   AddressSpace* FindOverMaxrss() const;
 
   Kernel* kernel_;
@@ -53,7 +59,9 @@ class PagingDaemon : public Program {
   Phase phase_ = Phase::kIdle;
   bool active_ = false;
   int64_t sweep_quota_ = 0;  // minimum frames to scan this activation
-  int64_t clock_hand_ = 0;
+  // One clock hand per memory node, each an absolute frame index inside its
+  // node's range; lazily sized on first use.
+  std::vector<int64_t> clock_hands_;
   std::vector<FrameId> batch_;
   AddressSpace* batch_as_ = nullptr;
   int64_t scanned_this_round_ = 0;

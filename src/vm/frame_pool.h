@@ -1,0 +1,236 @@
+// Sharded (NUMA-style) pool of free physical frames.
+//
+// The physical frame range is partitioned contiguously into up to 64 nodes;
+// each node owns an independent free list with the exact semantics of
+// FreeList (head pops for allocation, head pushes for daemon steals, tail
+// pushes for releases so too-early releases can be rescued, O(1) mid-list
+// removal for rescue). All nodes share ONE pair of prev_/next_ link arrays —
+// a frame is on at most one node's list, namely the node that owns its frame
+// range — so the footprint is 2*sizeof(FrameId) bytes/frame regardless of
+// node count, and membership (Contains) stays one load against the sentinel.
+//
+// Allocation prefers the caller's home node and falls back to the nearest
+// (by index, wrapping) non-empty node. The fallback is O(1): a 64-bit
+// occupancy mask rotated so the home node is bit 0, then countr_zero. This
+// is why num_nodes is capped at 64.
+//
+// With num_nodes == 1 every operation degenerates to exactly the single
+// FreeList behavior (one anchor, same link discipline), so golden outputs
+// and fuzz digests of 1-node configurations are unchanged by construction.
+
+#ifndef TMH_SRC_VM_FRAME_POOL_H_
+#define TMH_SRC_VM_FRAME_POOL_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/types.h"
+
+namespace tmh {
+
+class FramePool {
+ public:
+  static constexpr int kMaxNodes = 64;
+
+  FramePool(int64_t num_frames, int num_nodes)
+      : num_frames_(num_frames),
+        num_nodes_(num_nodes < 1 ? 1 : (num_nodes > kMaxNodes ? kMaxNodes : num_nodes)),
+        frames_per_node_((num_frames + num_nodes_ - 1) / num_nodes_),
+        prev_(static_cast<size_t>(num_frames), kUnlinked),
+        next_(static_cast<size_t>(num_frames), kUnlinked),
+        head_(static_cast<size_t>(num_nodes_), kNoFrame),
+        tail_(static_cast<size_t>(num_nodes_), kNoFrame),
+        node_size_(static_cast<size_t>(num_nodes_), 0) {
+    assert(num_frames_ > 0);
+  }
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int64_t frames_per_node() const { return frames_per_node_; }
+
+  // The node owning frame `id`'s range. Contiguous partition: frames
+  // [n*frames_per_node, (n+1)*frames_per_node) belong to node n.
+  [[nodiscard]] int NodeOf(FrameId id) const {
+    return static_cast<int>(id / frames_per_node_);
+  }
+
+  // First frame of `node`'s range (the daemon's per-node clock origin).
+  [[nodiscard]] FrameId NodeBegin(int node) const {
+    return static_cast<FrameId>(node * frames_per_node_);
+  }
+  // One past the last frame of `node`'s range (the range may be short on the
+  // final node when num_frames doesn't divide evenly).
+  [[nodiscard]] FrameId NodeEnd(int node) const {
+    const int64_t end = (node + 1) * frames_per_node_;
+    return static_cast<FrameId>(end < num_frames_ ? end : num_frames_);
+  }
+
+  // Pushes a frame at the head of its owning node's list.
+  void PushHead(FrameId id) {
+    const int node = NodeOf(id);
+    Link(id, kNoFrame, head_[static_cast<size_t>(node)], node);
+    ++head_pushes_;
+  }
+
+  // Pushes a frame at the tail of its owning node's list (maximizes rescue
+  // odds, Section 3.1.2).
+  void PushTail(FrameId id) {
+    const int node = NodeOf(id);
+    Link(id, tail_[static_cast<size_t>(node)], kNoFrame, node);
+    ++tail_pushes_;
+  }
+
+  // Pops the head of `preferred_node`'s list; if that node is exhausted,
+  // falls back to the nearest non-empty node by ascending index, wrapping
+  // (home, home+1, ..., N-1, 0, ...). Returns kNoFrame only when every node
+  // is empty. O(1): rotate the occupancy mask + countr_zero.
+  FrameId PopHead(int preferred_node) {
+    if (nonempty_mask_ == 0) return kNoFrame;
+    const auto shift = static_cast<unsigned>(preferred_node);
+    const uint64_t rotated = std::rotr(nonempty_mask_, static_cast<int>(shift));
+    // Wrapped-around bits land at positions >= 64 - shift, above every
+    // unwrapped candidate (< num_nodes - shift), so countr_zero picks the
+    // nearest node in wrap order.
+    const int node =
+        (preferred_node + std::countr_zero(rotated)) & (kMaxNodes - 1);
+    return PopHeadFromNode(node);
+  }
+
+  // Pops the head of exactly `node`'s list, or kNoFrame if it is empty.
+  FrameId PopHeadFromNode(int node) {
+    const FrameId id = head_[static_cast<size_t>(node)];
+    if (id == kNoFrame) return kNoFrame;
+    Unlink(id, node);
+    return id;
+  }
+
+  // Removes `id` from anywhere in its node's list (rescue path). `id` must
+  // be linked.
+  void Remove(FrameId id) {
+    Unlink(id, NodeOf(id));
+    ++rescues_;
+  }
+
+  // O(1): one load and compare against the unlinked sentinel. This is the
+  // releaser/rescue fast path — the kernel probes it on every fault for a
+  // page whose frame may still be on the free list (Section 3.1.2).
+  [[nodiscard]] bool Contains(FrameId id) const {
+    return id >= 0 && id < num_frames_ &&
+           prev_[static_cast<size_t>(id)] != kUnlinked;
+  }
+
+  [[nodiscard]] int64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] int64_t node_size(int node) const {
+    return node_size_[static_cast<size_t>(node)];
+  }
+
+  // Snapshot of one node's list head-to-tail, for checkers and tests. Walks
+  // the intrusive links, so it also validates their consistency.
+  [[nodiscard]] std::vector<FrameId> NodeToVector(int node) const {
+    std::vector<FrameId> out;
+    out.reserve(static_cast<size_t>(node_size_[static_cast<size_t>(node)]));
+    for (FrameId id = head_[static_cast<size_t>(node)]; id != kNoFrame;
+         id = next_[static_cast<size_t>(id)]) {
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  // All nodes concatenated in node order (node 0 head..tail, node 1, ...).
+  // With one node this is exactly FreeList::ToVector().
+  [[nodiscard]] std::vector<FrameId> ToVector() const {
+    std::vector<FrameId> out;
+    out.reserve(static_cast<size_t>(size_));
+    for (int node = 0; node < num_nodes_; ++node) {
+      for (FrameId id = head_[static_cast<size_t>(node)]; id != kNoFrame;
+           id = next_[static_cast<size_t>(id)]) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+
+  // Lifetime counters for Figure 9's freed-page outcome breakdown
+  // (aggregated across nodes).
+  [[nodiscard]] uint64_t total_head_pushes() const { return head_pushes_; }
+  [[nodiscard]] uint64_t total_tail_pushes() const { return tail_pushes_; }
+  [[nodiscard]] uint64_t total_rescues() const { return rescues_; }
+
+  // Host memory consumed by the pool's per-frame structures. The scale tests
+  // hold this to a documented bound (2*sizeof(FrameId)/frame + O(nodes)).
+  [[nodiscard]] int64_t MemoryFootprintBytes() const {
+    return static_cast<int64_t>(prev_.capacity() * sizeof(FrameId) +
+                                next_.capacity() * sizeof(FrameId) +
+                                head_.capacity() * sizeof(FrameId) +
+                                tail_.capacity() * sizeof(FrameId) +
+                                node_size_.capacity() * sizeof(int64_t));
+  }
+
+ private:
+  // Sentinel stored in prev_ for frames not on any list. Distinct from
+  // kNoFrame, which marks a head's (valid) lack of a predecessor.
+  static constexpr FrameId kUnlinked = -2;
+
+  void Link(FrameId id, FrameId prev, FrameId next, int node) {
+    const auto n = static_cast<size_t>(node);
+    prev_[static_cast<size_t>(id)] = prev;
+    next_[static_cast<size_t>(id)] = next;
+    if (prev == kNoFrame) {
+      head_[n] = id;
+    } else {
+      next_[static_cast<size_t>(prev)] = id;
+    }
+    if (next == kNoFrame) {
+      tail_[n] = id;
+    } else {
+      prev_[static_cast<size_t>(next)] = id;
+    }
+    ++size_;
+    if (++node_size_[n] == 1) nonempty_mask_ |= uint64_t{1} << n;
+  }
+
+  void Unlink(FrameId id, int node) {
+    const auto n = static_cast<size_t>(node);
+    const FrameId prev = prev_[static_cast<size_t>(id)];
+    const FrameId next = next_[static_cast<size_t>(id)];
+    if (prev == kNoFrame) {
+      head_[n] = next;
+    } else {
+      next_[static_cast<size_t>(prev)] = next;
+    }
+    if (next == kNoFrame) {
+      tail_[n] = prev;
+    } else {
+      prev_[static_cast<size_t>(next)] = prev;
+    }
+    prev_[static_cast<size_t>(id)] = kUnlinked;
+    next_[static_cast<size_t>(id)] = kUnlinked;
+    --size_;
+    if (--node_size_[n] == 0) nonempty_mask_ &= ~(uint64_t{1} << n);
+  }
+
+  int64_t num_frames_;
+  int num_nodes_;
+  int64_t frames_per_node_;
+  std::vector<FrameId> prev_;
+  std::vector<FrameId> next_;
+  std::vector<FrameId> head_;
+  std::vector<FrameId> tail_;
+  std::vector<int64_t> node_size_;
+  uint64_t nonempty_mask_ = 0;
+  int64_t size_ = 0;
+
+  uint64_t head_pushes_ = 0;
+  uint64_t tail_pushes_ = 0;
+  uint64_t rescues_ = 0;
+};
+
+}  // namespace tmh
+
+#endif  // TMH_SRC_VM_FRAME_POOL_H_

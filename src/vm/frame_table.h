@@ -125,6 +125,19 @@ class FrameTable {
   [[nodiscard]] const uint64_t* referenced_words() const { return referenced_.data(); }
   [[nodiscard]] const uint64_t* io_busy_words() const { return io_busy_.data(); }
 
+  // Host memory consumed by the table's per-frame structures. The scale tests
+  // hold this to a documented bound: sizeof(AsId)+sizeof(VPage)+1 dense bytes
+  // plus 5 plane bits per frame (~13.6 B/frame at the default type widths).
+  [[nodiscard]] int64_t MemoryFootprintBytes() const {
+    return static_cast<int64_t>(owner_.capacity() * sizeof(AsId) +
+                                vpage_.capacity() * sizeof(VPage) +
+                                freed_by_.capacity() * sizeof(FreedBy) +
+                                (mapped_.capacity() + dirty_.capacity() +
+                                 referenced_.capacity() + contents_valid_.capacity() +
+                                 io_busy_.capacity()) *
+                                    sizeof(uint64_t));
+  }
+
  private:
   [[nodiscard]] size_t Index(FrameId id) const {
     assert(id >= 0 && id < size_);

@@ -7,9 +7,12 @@ Two modes:
       Checks that FILE parses and matches the tmh-bench-v1 schema (used by the
       bench-smoke CTest target). Exit 0 on success.
 
-  bench_regress.py BASELINE CANDIDATE [--threshold PCT] [--metric-threshold M=PCT]
-      Prints a per-benchmark comparison (ns/op and throughput ratios) and
-      exits 1 on:
+  bench_regress.py BASELINE CANDIDATE [BASELINE2 CANDIDATE2 ...]
+                   [--threshold PCT] [--metric-threshold [SNAP/]M=PCT]
+      Compares each BASELINE/CANDIDATE pair in turn (so one invocation gates
+      every committed snapshot: BENCH_substrate.json and BENCH_scale.json
+      against their freshly recorded counterparts). Prints a per-benchmark
+      comparison (ns/op and throughput ratios) and exits 1 on:
         * a micro-kernel throughput (items/s) regression beyond the general
           threshold (default 25%, deliberately loose: single-machine wall
           numbers), or
@@ -30,6 +33,18 @@ the band is symmetric in log space. Defaults are generous because CI may run
 on a machine unlike the one that recorded the snapshot: 60 for
 sim_events_per_s, 50 for efficiency.
 
+With multiple snapshot pairs, a threshold can be scoped to one snapshot by
+prefixing it with the baseline file's stem and a slash:
+  --metric-threshold BENCH_scale/sim_events_per_s=40
+applies only to the pair whose baseline is .../BENCH_scale.json; unscoped
+thresholds apply to every pair. Failures are reported per snapshot.
+
+Sweep efficiency divides speedup by min(jobs, cpus) when the benchmark
+records the "cpus" it actually ran on: requesting 8 workers on a 1-CPU
+container can never speed up 8x, and gating speedup/jobs there would hold the
+sweep to an impossible bar (or hide a real scaling regression on big
+machines behind a band sized for small ones).
+
 Typical flow:
 
   ./build/bench/bench_json /tmp/before.json     # on the baseline commit
@@ -39,6 +54,7 @@ Typical flow:
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA = "tmh-bench-v1"
@@ -87,9 +103,10 @@ def validate(doc):
             v = b.get(key)
             if v is not None and (not isinstance(v, (int, float)) or v <= 0):
                 errors.append(f"{name}: {key} must be a positive number, got {v!r}")
-        jobs = b.get("jobs")
-        if jobs is not None and (not isinstance(jobs, int) or jobs <= 0):
-            errors.append(f"{name}: jobs must be a positive integer, got {jobs!r}")
+        for key in ("jobs", "cpus", "workers"):
+            v = b.get(key)
+            if v is not None and (not isinstance(v, int) or v <= 0):
+                errors.append(f"{name}: {key} must be a positive integer, got {v!r}")
     return errors
 
 
@@ -107,12 +124,19 @@ def rate_of(bench):
 
 
 def efficiency_of(bench):
-    """Parallel scaling efficiency (speedup per job), or None."""
+    """Parallel scaling efficiency: speedup per *usable* worker, or None.
+
+    The denominator is min(jobs, cpus) when the benchmark records the CPUs it
+    ran on — a 1-CPU container asked for 8 jobs can only ever reach 1x, and
+    dividing by 8 would misread that as a 12% efficiency collapse.
+    """
     speedup = bench.get("speedup")
     jobs = bench.get("jobs")
     if speedup is None or not jobs:
         return None
-    return float(speedup) / float(jobs)
+    cpus = bench.get("cpus")
+    denom = min(jobs, cpus) if isinstance(cpus, int) and cpus > 0 else jobs
+    return float(speedup) / float(denom)
 
 
 def gate_both_ways(name, metric, base_val, cand_val, threshold_pct, failed):
@@ -215,12 +239,31 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
     return failed
 
 
+def snapshot_name(path):
+    """Snapshot identifier for scoped thresholds: the file stem (BENCH_scale)."""
+    base = os.path.basename(path)
+    stem, _, _ = base.rpartition(".json")
+    return stem if stem else base
+
+
 def parse_metric_thresholds(pairs):
+    """Returns (global_thresholds, {snapshot: {metric: pct}}).
+
+    Each flag is [SNAPSHOT/]METRIC=PCT; the scoped form applies only to the
+    pair whose baseline file stem matches SNAPSHOT.
+    """
     thresholds = dict(GATED_METRIC_DEFAULTS)
+    scoped = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"--metric-threshold wants METRIC=PCT, got {pair!r}")
-        metric, _, pct = pair.partition("=")
+            raise SystemExit(f"--metric-threshold wants [SNAPSHOT/]METRIC=PCT, got {pair!r}")
+        key, _, pct = pair.partition("=")
+        scope = None
+        metric = key
+        if "/" in key:
+            scope, _, metric = key.partition("/")
+            if not scope:
+                raise SystemExit(f"--metric-threshold: empty snapshot scope in {pair!r}")
         if metric not in GATED_METRIC_DEFAULTS:
             known = ", ".join(sorted(GATED_METRIC_DEFAULTS))
             raise SystemExit(f"unknown gated metric {metric!r} (known: {known})")
@@ -230,8 +273,11 @@ def parse_metric_thresholds(pairs):
             raise SystemExit(f"--metric-threshold {metric}: {pct!r} is not a number")
         if not 0 < value < 100:
             raise SystemExit(f"--metric-threshold {metric}: must be in (0, 100)")
-        thresholds[metric] = value
-    return thresholds
+        if scope is None:
+            thresholds[metric] = value
+        else:
+            scoped.setdefault(scope, {})[metric] = value
+    return thresholds, scoped
 
 
 def main():
@@ -241,9 +287,11 @@ def main():
     parser.add_argument("--threshold", type=float, default=25.0,
                         help="max tolerated micro-kernel throughput regression, percent")
     parser.add_argument("--metric-threshold", action="append", default=[],
-                        metavar="METRIC=PCT",
+                        metavar="[SNAP/]METRIC=PCT",
                         help="per-metric two-sided threshold for gated metrics "
-                             "(sim_events_per_s, efficiency); repeatable")
+                             "(sim_events_per_s, efficiency); optionally scoped "
+                             "to one snapshot pair by its baseline file stem; "
+                             "repeatable")
     parser.add_argument("--allow-missing", action="store_true",
                         help="tolerate benchmarks present in BASELINE but "
                              "absent from CANDIDATE (deliberate removals)")
@@ -255,15 +303,33 @@ def main():
             print(f"{path}: OK ({SCHEMA})")
         return 0
 
-    if len(args.files) != 2:
-        parser.error("compare mode takes exactly two files: BASELINE CANDIDATE")
-    baseline = load(args.files[0])
-    candidate = load(args.files[1])
-    metric_thresholds = parse_metric_thresholds(args.metric_threshold)
-    failed = compare(baseline, candidate, args.threshold, metric_thresholds,
-                     args.allow_missing)
-    if failed:
-        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+    if len(args.files) < 2 or len(args.files) % 2 != 0:
+        parser.error("compare mode takes BASELINE CANDIDATE pairs "
+                     "(an even number of files, at least two)")
+    global_thresholds, scoped = parse_metric_thresholds(args.metric_threshold)
+    multi = len(args.files) > 2
+    all_failed = []
+    for i in range(0, len(args.files), 2):
+        base_path, cand_path = args.files[i], args.files[i + 1]
+        snap = snapshot_name(base_path)
+        if multi:
+            print(f"=== {snap}: {base_path} vs {cand_path} ===")
+        baseline = load(base_path)
+        candidate = load(cand_path)
+        metric_thresholds = dict(global_thresholds)
+        metric_thresholds.update(scoped.get(snap, {}))
+        failed = compare(baseline, candidate, args.threshold, metric_thresholds,
+                         args.allow_missing)
+        all_failed.extend(f"{snap}:{name}" if multi else name for name in failed)
+        if multi:
+            print()
+    unknown_scopes = set(scoped) - {snapshot_name(args.files[i])
+                                    for i in range(0, len(args.files), 2)}
+    if unknown_scopes:
+        print(f"warning: scoped thresholds for unknown snapshot(s): "
+              f"{', '.join(sorted(unknown_scopes))}", file=sys.stderr)
+    if all_failed:
+        print(f"FAILED: {', '.join(all_failed)}", file=sys.stderr)
         return 1
     return 0
 

@@ -15,7 +15,12 @@ Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
     BOTH directions: a collapse and a suspiciously large improvement both
     exit 1, and --metric-threshold overrides the per-metric band;
   * speedup/jobs present on only one side (either direction) fails instead of
-    silently skipping the efficiency gate; --allow-missing tolerates it.
+    silently skipping the efficiency gate; --allow-missing tolerates it;
+  * multi-snapshot mode compares each BASELINE CANDIDATE pair in one
+    invocation, prefixes failures with the snapshot stem, scopes
+    SNAP/METRIC=PCT thresholds to their pair, and rejects odd file counts;
+  * a "cpus" field caps the efficiency denominator at min(jobs, cpus), so a
+    1-CPU run of an 8-job sweep gates at speedup/1, not speedup/8.
 
 Usage: bench_regress_test.py [DATA_DIR]   (default: ../tests/data next to
 this script, so it runs both from the source tree and from CTest).
@@ -174,6 +179,60 @@ def main():
                           code == 0, out)
     finally:
         os.unlink(no_eff)
+
+    # Multi-snapshot mode: two pairs in one invocation. Pair 2 has a dropped
+    # benchmark, so the invocation must fail with the snapshot-stem prefix, and
+    # pair 1's clean comparison must not mask it.
+    code, out = run_gate(baseline, baseline, baseline, missing)
+    failures += check("multi-snapshot: failing second pair fails with stem prefix",
+                      code == 1 and "bench_baseline:micro_b" in out
+                      and "=== bench_baseline:" in out, out)
+
+    code, out = run_gate(baseline, baseline, wall_only, wall_only)
+    failures += check("multi-snapshot: two clean pairs pass", code == 0, out)
+
+    code, out = run_gate(baseline, baseline, wall_only)
+    failures += check("odd file count is rejected", code == 2, out)
+
+    # Scoped threshold: tighten sim_events_per_s only for the bench_baseline
+    # snapshot; the same candidate under an unrelated scope must still pass.
+    boosted = mutated(baseline, set_events(1.5))
+    try:
+        code, out = run_gate(baseline, boosted, wall_only, wall_only,
+                             "--metric-threshold", "bench_baseline/sim_events_per_s=20")
+        failures += check("scoped threshold tightens its own snapshot",
+                          code == 1 and "bench_baseline:e2e_run" in out, out)
+        code, out = run_gate(baseline, boosted, wall_only, wall_only,
+                             "--metric-threshold", "bench_wall_only/sim_events_per_s=20")
+        failures += check("scoped threshold leaves other snapshots alone",
+                          code == 0 and "unknown snapshot" not in out, out)
+    finally:
+        os.unlink(boosted)
+
+    # cpus-aware efficiency: an 8-job sweep on 1 CPU reports speedup ~1.0 and
+    # cpus=1. Against a baseline recorded the same way, efficiency is 1.0/1 on
+    # both sides and the gate passes; strip cpus from the candidate and the
+    # same speedup reads as 1/8 efficiency and collapses.
+    def set_cpus_one(bench):
+        if bench["name"] == "sweep_parallel":
+            bench["speedup"] = 1.0
+            bench["cpus"] = 1
+
+    def strip_cpus(bench):
+        if bench["name"] == "sweep_parallel":
+            bench["speedup"] = 1.0
+
+    one_cpu = mutated(wall_only, set_cpus_one)
+    no_cpus = mutated(wall_only, strip_cpus)
+    try:
+        code, out = run_gate(one_cpu, one_cpu)
+        failures += check("cpus=1 makes an 8-job speedup of 1.0 pass", code == 0, out)
+        code, out = run_gate(one_cpu, no_cpus)
+        failures += check("dropping cpus exposes the speedup/jobs collapse",
+                          code == 1 and "REGRESSION (efficiency)" in out, out)
+    finally:
+        os.unlink(one_cpu)
+        os.unlink(no_cpus)
 
     if failures:
         print(f"{failures} check(s) failed", file=sys.stderr)

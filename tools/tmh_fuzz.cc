@@ -149,6 +149,9 @@ tmh::Scenario Shrink(const tmh::Scenario& original, const Flags& flags) {
     if (StillFails(candidate, flags)) best = candidate;
   };
   try_change([](tmh::Scenario& s) { s.with_interactive = false; });
+  try_change([](tmh::Scenario& s) { s.num_nodes = 1; });
+  try_change([](tmh::Scenario& s) { s.storm_delay = 0; });
+  try_change([](tmh::Scenario& s) { s.churn_stagger = 0; });
   try_change([](tmh::Scenario& s) { s.monitor = false; });
   try_change([](tmh::Scenario& s) { s.monitor_protect = false; });
   try_change([](tmh::Scenario& s) { s.local_partition_divisor = 0; });

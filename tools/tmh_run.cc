@@ -42,6 +42,7 @@ struct Flags {
   std::string metrics_out_path;  // metrics registry text dump
   double trace_period_s = 0.1;
   int64_t memory_mb = 0;          // 0 = scale the 75 MB default
+  int num_nodes = 1;              // NUMA-style frame-pool nodes
   int64_t local_partition = 0;    // pages; 0 = global replacement
   int release_batch = 100;
   int prefetch_threads = 8;
@@ -64,6 +65,7 @@ void PrintUsage() {
       "  --jobs N            sweep-mode worker threads           [all cores]\n"
       "  --scale F           workload+machine scale in (0,1]     [1.0]\n"
       "  --memory-mb N       user memory in MB (overrides scale) [75*scale]\n"
+      "  --nodes N           NUMA-style frame-pool nodes (1..64)  [1]\n"
       "  --interactive       run the 1 MB interactive task alongside\n"
       "  --sleep S           interactive think time in seconds   [5]\n"
       "  --adaptive          re-specialize unknown-bound nests at run time\n"
@@ -131,6 +133,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->scale = std::atof(next("--scale"));
     } else if (arg == "--memory-mb") {
       flags->memory_mb = std::atoll(next("--memory-mb"));
+    } else if (arg == "--nodes") {
+      flags->num_nodes = std::atoi(next("--nodes"));
+      if (flags->num_nodes < 1 || flags->num_nodes > 64) {
+        std::fprintf(stderr, "--nodes must be in [1, 64]\n");
+        std::exit(2);
+      }
     } else if (arg == "--interactive") {
       flags->interactive = true;
     } else if (arg == "--sleep") {
@@ -223,6 +231,7 @@ tmh::ExperimentSpec SpecFor(const Flags& flags, const tmh::WorkloadInfo& info,
     spec.machine.user_memory_bytes = static_cast<int64_t>(
         static_cast<double>(spec.machine.user_memory_bytes) * flags.scale);
   }
+  spec.machine.num_nodes = flags.num_nodes;
   spec.machine.tunables.local_partition_pages = flags.local_partition;
   spec.workload = info.factory(flags.scale);
   spec.version = version;
