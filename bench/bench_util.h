@@ -29,13 +29,19 @@ namespace tmh {
 struct BenchArgs {
   double scale = 1.0;
   int jobs = 0;  // sweep worker threads; 0 = all cores
+  // --no-fuse: run the interpreter's unfused per-touch path. The fused and
+  // unfused streams are bit-for-bit equivalent, so every table must come out
+  // byte-identical either way — the golden_*_runpath_identical tests pin that.
+  bool fuse_touch_runs = true;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   bool have_scale = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0) {
+    if (std::strcmp(argv[i], "--no-fuse") == 0) {
+      args.fuse_touch_runs = false;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--jobs requires a value\n");
         std::exit(2);
@@ -53,7 +59,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
     } else {
-      std::fprintf(stderr, "unexpected argument '%s' (usage: [scale] [--jobs N])\n", argv[i]);
+      std::fprintf(stderr, "unexpected argument '%s' (usage: [scale] [--jobs N] [--no-fuse])\n",
+                   argv[i]);
       std::exit(2);
     }
   }
@@ -71,13 +78,15 @@ inline MachineConfig BenchMachine(double scale) {
 // The spec RunBench builds, exposed so grids can be batched onto a
 // SweepRunner instead of run one at a time.
 inline ExperimentSpec BenchSpec(const WorkloadInfo& info, double scale, AppVersion version,
-                                bool with_interactive, SimDuration sleep = 5 * kSec) {
+                                bool with_interactive, SimDuration sleep = 5 * kSec,
+                                bool fuse_touch_runs = true) {
   ExperimentSpec spec;
   spec.machine = BenchMachine(scale);
   spec.workload = info.factory(scale);
   spec.version = version;
   spec.with_interactive = with_interactive;
   spec.interactive.sleep_time = sleep;
+  spec.fuse_touch_runs = fuse_touch_runs;
   return spec;
 }
 

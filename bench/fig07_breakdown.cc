@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   for (const tmh::WorkloadInfo& info : tmh::AllWorkloads()) {
     for (const tmh::AppVersion version : tmh::AllVersions()) {
-      specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false));
+      specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false,
+                                     /*sleep=*/5 * tmh::kSec, args.fuse_touch_runs));
       labels.push_back(info.name + "/" + tmh::VersionLabel(version));
     }
   }

@@ -70,6 +70,8 @@ struct KernelStats {
   uint64_t monitor_soft_faults = 0;       // revalidations of monitor samples
   uint64_t monitor_releases_enqueued = 0; // releases queued by the schemes engine
   uint64_t monitor_pages_protected = 0;   // reference bits re-set for hot regions
+  uint64_t touch_runs_bulk = 0;      // fused kTouchRun ops validated & charged whole
+  uint64_t touch_runs_replayed = 0;  // fused ops degraded to the per-touch replay
 };
 
 class Kernel {
@@ -170,6 +172,12 @@ class Kernel {
   [[nodiscard]] SimTime Now() const { return queue_.Now(); }
   [[nodiscard]] EventQueue& event_queue() { return queue_; }
 
+  // CPU time the calling Program's current slice can still consume before the
+  // scheduler preempts it. Valid during Program::Next (zero outside a slice);
+  // run-fusing programs cap a fused run's worst-case cost below this so the
+  // run never has to split across slices.
+  [[nodiscard]] SimDuration SliceBudgetRemaining() const { return slice_budget_left_; }
+
   // --- introspection ----------------------------------------------------------
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
@@ -235,7 +243,10 @@ class Kernel {
   friend class PagingDaemon;
   friend class Releaser;
 
-  enum class ExecResult : uint8_t { kCompleted, kBlocked, kExited };
+  // kPreempted: the op consumed the slice's budget (or op cap) part-way
+  // through a fused touch run; the thread keeps the op pending and resumes it
+  // from the run's cursor in its next slice.
+  enum class ExecResult : uint8_t { kCompleted, kBlocked, kExited, kPreempted };
 
   // Schedules the recurring paging-daemon timer tick.
   void DaemonTickChain(SimDuration period);
@@ -248,9 +259,13 @@ class Kernel {
   void Block(Thread* t, Thread::BlockReason reason, SimDuration elapsed);
   void Wake(Thread* t);
 
-  // Op execution.
-  ExecResult ExecuteOp(Thread* t, SimDuration* elapsed);
+  // Op execution. `budget` and `ops` carry the current slice's remaining
+  // allowance into multi-step ops (kTouchRun) so their internal per-step
+  // boundaries match the unfused per-op stream exactly.
+  ExecResult ExecuteOp(Thread* t, SimDuration* elapsed, SimDuration budget, int* ops);
   ExecResult DoTouch(Thread* t, Op& op, SimDuration* elapsed);
+  ExecResult DoTouchRun(Thread* t, Op& op, SimDuration* elapsed, SimDuration budget,
+                        int* ops);
   ExecResult DoPrefetch(Thread* t, Op& op, SimDuration* elapsed);
   ExecResult DoRelease(Thread* t, Op& op, SimDuration* elapsed);
   // Acquires `lock` for `t` or blocks it. Returns true when the lock is held.
@@ -327,9 +342,29 @@ class Kernel {
   // Scheduler state.
   std::deque<Thread*> run_queue_;
   int busy_cpus_ = 0;
+  // True while RunSlice is on the stack. Wakes performed by an op must take
+  // the queued dispatch path: dispatching inline from inside a running slice
+  // would reorder the woken thread's execution ahead of already-pending
+  // events.
+  bool in_slice_ = false;
+  // Budget the currently-running slice has left before its next op starts.
+  // Programs read this (via SliceBudgetRemaining) to size fused touch runs so
+  // a run planned now is guaranteed to fit the slice it executes in.
+  SimDuration slice_budget_left_ = 0;
   // Bumped on every thread transition into State::kDone. RunUntilThreadsDone
   // gates its (otherwise per-event) predicate re-evaluation on this counter.
   uint64_t done_generation_ = 1;
+  // Stop predicate installed by RunUntilDone for the duration of its batched
+  // run loop. TryDispatch consults it before taking the inline fast path: once
+  // it fires, dispatch reverts to queued zero-delay events so the run loop
+  // observes the same stop boundary the one-event-at-a-time loop would (the
+  // inline path would otherwise fuse the dispatch into the waking event and
+  // run the slice past the requested stop point). Must be side-effect free;
+  // `stop_hint_fired_` latches the result so it is evaluated at most once per
+  // dispatch attempt after firing.
+  const std::function<bool()>* stop_hint_ = nullptr;
+  bool stop_hint_fired_ = false;
+  bool StopHintFires();
 
   // Per-node allocation counters (index = memory node).
   std::vector<uint64_t> node_allocations_;

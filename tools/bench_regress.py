@@ -16,8 +16,10 @@ Two modes:
         * a micro-kernel throughput (items/s) regression beyond the general
           threshold (default 25%, deliberately loose: single-machine wall
           numbers), or
-        * a gated metric (sim_events_per_s; sweep efficiency = speedup/jobs)
-          moving beyond its per-metric threshold in EITHER direction — a
+        * a gated metric (sim_events_per_s; pages_touched_per_s, the honest
+          work rate that survives op batching; sweep efficiency =
+          speedup/jobs) moving beyond its per-metric threshold in EITHER
+          direction — a
           too-good number means the committed snapshot is stale or the
           measurement is broken, and should be re-recorded deliberately, or
         * a benchmark present in BASELINE but missing from CANDIDATE
@@ -31,7 +33,8 @@ Per-metric thresholds are set with repeatable --metric-threshold flags, e.g.
 A threshold of T percent accepts ratios in [1 - T/100, 1 / (1 - T/100)], so
 the band is symmetric in log space. Defaults are generous because CI may run
 on a machine unlike the one that recorded the snapshot: 60 for
-sim_events_per_s, 50 for efficiency.
+sim_events_per_s and pages_touched_per_s, 50 for efficiency. Every failure
+flag carries the measured percent delta alongside the threshold it tripped.
 
 With multiple snapshot pairs, a threshold can be scoped to one snapshot by
 prefixing it with the baseline file's stem and a slash:
@@ -62,6 +65,7 @@ SCHEMA = "tmh-bench-v1"
 # Metrics gated in both directions, with their default thresholds (percent).
 GATED_METRIC_DEFAULTS = {
     "sim_events_per_s": 60.0,
+    "pages_touched_per_s": 60.0,  # honest work rate: survives op batching
     "efficiency": 50.0,  # parallel-sweep speedup / jobs
 }
 
@@ -99,7 +103,7 @@ def validate(doc):
         if not (has_micro or has_e2e or has_wall):
             errors.append(f"{name}: no ns_per_op/items_per_s, sim_events_per_s, or wall_s")
         for key in ("ns_per_op", "items_per_s", "sim_events_per_s", "wall_s",
-                    "serial_wall_s", "speedup"):
+                    "serial_wall_s", "speedup", "pages_touched", "pages_touched_per_s"):
             v = b.get(key)
             if v is not None and (not isinstance(v, (int, float)) or v <= 0):
                 errors.append(f"{name}: {key} must be a positive number, got {v!r}")
@@ -142,14 +146,16 @@ def efficiency_of(bench):
 def gate_both_ways(name, metric, base_val, cand_val, threshold_pct, failed):
     """Two-sided gate: ratios outside [1-t, 1/(1-t)] fail. Returns the ratio."""
     ratio = cand_val / base_val
+    delta_pct = (ratio - 1.0) * 100.0
     lo = 1.0 - threshold_pct / 100.0
     hi = 1.0 / lo if lo > 0 else float("inf")
     flag = ""
     if ratio < lo:
-        flag = f"  << REGRESSION ({metric})"
+        flag = f"  << REGRESSION ({metric}: {delta_pct:+.1f}%, threshold -{threshold_pct:.0f}%)"
         failed.append(name)
     elif ratio > hi:
-        flag = f"  << SUSPICIOUS IMPROVEMENT ({metric}: re-record the snapshot)"
+        flag = (f"  << SUSPICIOUS IMPROVEMENT ({metric}: {delta_pct:+.1f}%, "
+                f"threshold +{(hi - 1.0) * 100.0:.0f}%: re-record the snapshot)")
         failed.append(name)
     return ratio, flag
 
@@ -197,6 +203,26 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
             print(f"{name + ' [eff]':32} {base_eff:>13.2f}x {cand_eff:>13.2f}x "
                   f"{ratio:>7.2f}x{flag}")
 
+        # Honest work rate (pages touched per wall second): gated both ways,
+        # independently of sim_events_per_s, because op batching legitimately
+        # shrinks the event count — pages touched is the workload-invariant
+        # denominator that can't be gamed by fusing ops.
+        base_pages = base.get("pages_touched_per_s")
+        cand_pages = cand.get("pages_touched_per_s")
+        if (base_pages is None) != (cand_pages is None):
+            side = "candidate" if cand_pages is None else "baseline"
+            flag = ("" if allow_missing else
+                    f"  << MISSING METRIC (pages_touched_per_s absent from {side})")
+            print(f"{name + ' [pages]':32} {'(asymmetric pages_touched_per_s)':>33}{flag}")
+            if not allow_missing:
+                failed.append(name)
+        if base_pages is not None and cand_pages is not None:
+            ratio, flag = gate_both_ways(name, "pages_touched_per_s", float(base_pages),
+                                         float(cand_pages),
+                                         metric_thresholds["pages_touched_per_s"], failed)
+            print(f"{name + ' [pages]':32} {float(base_pages):>12.0f}/s "
+                  f"{float(cand_pages):>12.0f}/s {ratio:>7.2f}x{flag}")
+
         if base_rate is None or cand_rate is None:
             # Wall-clock-only entries are machine-dependent end-to-end timings:
             # their delta is reported in the summary line but never gated.
@@ -219,7 +245,8 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
         flag = ""
         regression_pct = (1.0 - ratio) * 100.0
         if regression_pct > threshold_pct:
-            flag = "  << REGRESSION"
+            flag = (f"  << REGRESSION ({unit}: {(ratio - 1.0) * 100.0:+.1f}%, "
+                    f"threshold -{threshold_pct:.0f}%)")
             failed.append(name)
         worst = max(worst, regression_pct)
         print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")

@@ -11,11 +11,13 @@ Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
   * a real throughput regression past the threshold still fails;
   * wall-clock-only entries are reported in the summary's wall-time delta but
     never gate, even when the wall time balloons;
-  * gated metrics (sim_events_per_s, sweep efficiency = speedup/jobs) fail in
-    BOTH directions: a collapse and a suspiciously large improvement both
-    exit 1, and --metric-threshold overrides the per-metric band;
-  * speedup/jobs present on only one side (either direction) fails instead of
-    silently skipping the efficiency gate; --allow-missing tolerates it;
+  * gated metrics (sim_events_per_s, pages_touched_per_s, sweep efficiency =
+    speedup/jobs) fail in BOTH directions: a collapse and a suspiciously
+    large improvement both exit 1, failure flags carry the measured percent
+    delta, and --metric-threshold overrides the per-metric band;
+  * speedup/jobs or pages_touched_per_s present on only one side (either
+    direction) fails instead of silently skipping that gate; --allow-missing
+    tolerates it;
   * multi-snapshot mode compares each BASELINE CANDIDATE pair in one
     invocation, prefixes failures with the snapshot stem, scopes
     SNAP/METRIC=PCT thresholds to their pair, and rejects odd file counts;
@@ -136,18 +138,36 @@ def main():
                 bench["speedup"] = value
         return mutate
 
+    def set_pages(factor):
+        def mutate(bench):
+            if bench["name"] == "e2e_run":
+                bench["pages_touched_per_s"] = bench["pages_touched_per_s"] * factor
+        return mutate
+
     for label, path_args, want_code, want_text in (
-        # Default sim_events_per_s band is 60%: [0.4x, 2.5x].
-        ("sim-events collapse fails", [mutated(baseline, set_events(0.3))], 1, "REGRESSION (sim_events_per_s)"),
+        # Default sim_events_per_s band is 60%: [0.4x, 2.5x]. Every failure
+        # flag must carry the measured percent delta (here -70%).
+        ("sim-events collapse fails with delta",
+         [mutated(baseline, set_events(0.3))], 1, "REGRESSION (sim_events_per_s: -70.0%"),
         ("sim-events 3x jump fails as suspicious", [mutated(baseline, set_events(3.0))], 1, "SUSPICIOUS IMPROVEMENT"),
         ("sim-events within band passes", [mutated(baseline, set_events(1.5))], 0, ""),
+        # pages_touched_per_s gates both ways with the same default band.
+        ("pages-touched collapse fails with delta",
+         [mutated(baseline, set_pages(0.3))], 1, "REGRESSION (pages_touched_per_s: -70.0%"),
+        ("pages-touched 3x jump fails as suspicious",
+         [mutated(baseline, set_pages(3.0))], 1,
+         "SUSPICIOUS IMPROVEMENT (pages_touched_per_s: +200.0%"),
+        ("pages-touched within band passes", [mutated(baseline, set_pages(1.5))], 0, ""),
         # Default efficiency band is 50%: [0.5x, 2.0x] on speedup/jobs.
-        ("efficiency collapse fails", [mutated(wall_only, set_speedup(1.0))], 1, "REGRESSION (efficiency)"),
+        ("efficiency collapse fails", [mutated(wall_only, set_speedup(1.0))], 1, "REGRESSION (efficiency:"),
         ("efficiency within band passes", [mutated(wall_only, set_speedup(3.0))], 0, ""),
         # A tightened per-metric threshold turns the passing 1.5x into a fail.
         ("--metric-threshold tightens the band",
          [mutated(baseline, set_events(1.5)), "--metric-threshold", "sim_events_per_s=20"],
          1, "SUSPICIOUS IMPROVEMENT"),
+        ("--metric-threshold tightens the pages band",
+         [mutated(baseline, set_pages(1.5)), "--metric-threshold", "pages_touched_per_s=20"],
+         1, "SUSPICIOUS IMPROVEMENT (pages_touched_per_s:"),
     ):
         candidate = path_args[0]
         try:
@@ -179,6 +199,27 @@ def main():
                           code == 0, out)
     finally:
         os.unlink(no_eff)
+
+    # Same rule for pages_touched_per_s: one side silently dropping the honest
+    # work rate must fail, not skip the gate.
+    def drop_pages(bench):
+        if bench["name"] == "e2e_run":
+            bench.pop("pages_touched", None)
+            bench.pop("pages_touched_per_s", None)
+
+    no_pages = mutated(baseline, drop_pages)
+    try:
+        code, out = run_gate(baseline, no_pages)
+        failures += check("candidate dropping pages_touched_per_s fails the gate",
+                          code == 1 and "MISSING METRIC (pages_touched_per_s" in out, out)
+        code, out = run_gate(no_pages, baseline)
+        failures += check("baseline without pages_touched_per_s fails the gate too",
+                          code == 1 and "MISSING METRIC (pages_touched_per_s" in out, out)
+        code, out = run_gate(baseline, no_pages, "--allow-missing")
+        failures += check("--allow-missing tolerates asymmetric pages_touched_per_s",
+                          code == 0, out)
+    finally:
+        os.unlink(no_pages)
 
     # Multi-snapshot mode: two pairs in one invocation. Pair 2 has a dropped
     # benchmark, so the invocation must fail with the snapshot-stem prefix, and
@@ -229,7 +270,7 @@ def main():
         failures += check("cpus=1 makes an 8-job speedup of 1.0 pass", code == 0, out)
         code, out = run_gate(one_cpu, no_cpus)
         failures += check("dropping cpus exposes the speedup/jobs collapse",
-                          code == 1 and "REGRESSION (efficiency)" in out, out)
+                          code == 1 and "REGRESSION (efficiency:" in out, out)
     finally:
         os.unlink(one_cpu)
         os.unlink(no_cpus)
