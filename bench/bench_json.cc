@@ -168,7 +168,8 @@ struct EndToEndResult {
   bool completed = false;
 };
 
-EndToEndResult Fig07StyleRun(int repeats, bool monitor = false, double scale = 0.1) {
+EndToEndResult Fig07StyleRun(int repeats, bool monitor = false, double scale = 0.1,
+                             int tiers = 0) {
   EndToEndResult best;
   best.wall_s = 1e30;
   // One untimed warm-up run so page-cache state, lazily-allocated arenas, and
@@ -177,6 +178,16 @@ EndToEndResult Fig07StyleRun(int repeats, bool monitor = false, double scale = 0
     ExperimentSpec spec;
     spec.machine.user_memory_bytes =
         static_cast<int64_t>(75.0 * scale * 1024 * 1024);
+    // The tiering leg runs the same configuration on a tiered machine, so the
+    // entry's sim_events_per_s carries the demote/promote migration overhead.
+    if (tiers > 1) {
+      spec.machine.tiers.push_back(TierSpec{});  // tiers[0] = DRAM
+      for (int t = 1; t < tiers; ++t) {
+        TierSpec tier;
+        tier.frames = spec.machine.num_frames() / 2;
+        spec.machine.tiers.push_back(tier);
+      }
+    }
     spec.workload = MakeMatvec(scale);
     // The monitor leg runs version O — the unhinted program is the monitor's
     // target population — with the sampler and schemes engine live, so the
@@ -289,8 +300,8 @@ SweepBenchResult SweepFig07Parallel(const std::vector<double>& scales, int jobs,
 
 void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
               const EndToEndResult& e2e, const EndToEndResult& e2e_large,
-              const EndToEndResult& monitor_e2e, const SweepBenchResult& sweep,
-              const SweepBenchResult& sweep_large) {
+              const EndToEndResult& monitor_e2e, const EndToEndResult& tiering_e2e,
+              const SweepBenchResult& sweep, const SweepBenchResult& sweep_large) {
   std::fprintf(f, "{\n  \"schema\": \"tmh-bench-v1\",\n  \"benchmarks\": [\n");
   for (const BenchResult& r : results) {
     std::fprintf(f,
@@ -309,6 +320,7 @@ void EmitJson(std::FILE* f, const std::vector<BenchResult>& results,
   emit_e2e("fig07_matvec_b", e2e);
   emit_e2e("fig07_matvec_b_large", e2e_large);
   emit_e2e("monitor_overhead", monitor_e2e);
+  emit_e2e("ext_tiering", tiering_e2e);
   auto emit_sweep = [f](const char* name, const SweepBenchResult& s, bool last) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.4f, "
@@ -359,6 +371,10 @@ int main(int argc, char** argv) {
   const tmh::EndToEndResult e2e_large =
       tmh::Fig07StyleRun(2, /*monitor=*/false, /*scale=*/0.25);
   const tmh::EndToEndResult monitor_e2e = tmh::Fig07StyleRun(3, /*monitor=*/true);
+  // Same MATVEC B configuration as fig07_matvec_b, on a 3-tier machine:
+  // releases demote, re-touches promote, evictions cascade.
+  const tmh::EndToEndResult tiering_e2e =
+      tmh::Fig07StyleRun(3, /*monitor=*/false, /*scale=*/0.1, /*tiers=*/3);
   const tmh::SweepBenchResult sweep = tmh::SweepFig07Parallel({0.05}, jobs, 2);
   // Larger grid (three scales) so the pool has enough independent work per
   // thread for speedup to approach the core count on multi-core machines;
@@ -367,13 +383,15 @@ int main(int argc, char** argv) {
   const tmh::SweepBenchResult sweep_large =
       tmh::SweepFig07Parallel({0.04, 0.05, 0.06}, jobs, 1);
 
-  tmh::EmitJson(stdout, results, e2e, e2e_large, monitor_e2e, sweep, sweep_large);
+  tmh::EmitJson(stdout, results, e2e, e2e_large, monitor_e2e, tiering_e2e, sweep,
+                sweep_large);
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s for writing\n", out_path);
     return 1;
   }
-  tmh::EmitJson(f, results, e2e, e2e_large, monitor_e2e, sweep, sweep_large);
+  tmh::EmitJson(f, results, e2e, e2e_large, monitor_e2e, tiering_e2e, sweep,
+                sweep_large);
   std::fclose(f);
   return 0;
 }

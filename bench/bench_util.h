@@ -33,6 +33,11 @@ struct BenchArgs {
   // unfused streams are bit-for-bit equivalent, so every table must come out
   // byte-identical either way — the golden_*_runpath_identical tests pin that.
   bool fuse_touch_runs = true;
+  // --tiers N: total memory tiers. 1 is the degenerate {DRAM} config, which
+  // must leave every table byte-identical to the tierless default (the
+  // golden_*_tiers1_identical tests pin that); N > 1 adds N-1 slow tiers of
+  // half the DRAM frame count each, turning releases into demotions.
+  int tiers = 0;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -41,6 +46,16 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-fuse") == 0) {
       args.fuse_touch_runs = false;
+    } else if (std::strcmp(argv[i], "--tiers") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--tiers requires a value\n");
+        std::exit(2);
+      }
+      args.tiers = std::atoi(argv[++i]);
+      if (args.tiers < 1 || args.tiers > 4) {
+        std::fprintf(stderr, "--tiers must be in [1, 4]; got %s\n", argv[i]);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--jobs requires a value\n");
@@ -59,7 +74,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
     } else {
-      std::fprintf(stderr, "unexpected argument '%s' (usage: [scale] [--jobs N] [--no-fuse])\n",
+      std::fprintf(stderr,
+                   "unexpected argument '%s' (usage: [scale] [--jobs N] [--no-fuse] "
+                   "[--tiers N])\n",
                    argv[i]);
       std::exit(2);
     }
@@ -73,6 +90,21 @@ inline MachineConfig BenchMachine(double scale) {
   config.user_memory_bytes =
       static_cast<int64_t>(static_cast<double>(config.user_memory_bytes) * scale);
   return config;
+}
+
+// Applies --tiers to a bench machine: total_tiers <= 1 leaves the config
+// untouched (1 = the degenerate {DRAM} entry, semantically identical to none);
+// each added slow tier holds half the DRAM frame count at default costs.
+inline void ApplyTierGeometry(MachineConfig& config, int total_tiers) {
+  if (total_tiers < 1) {
+    return;
+  }
+  config.tiers.push_back(TierSpec{});  // tiers[0] = DRAM
+  for (int t = 1; t < total_tiers; ++t) {
+    TierSpec tier;
+    tier.frames = config.num_frames() / 2;
+    config.tiers.push_back(tier);
+  }
 }
 
 // The spec RunBench builds, exposed so grids can be batched onto a

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     for (const tmh::AppVersion version : tmh::AllVersions()) {
       specs.push_back(tmh::BenchSpec(info, args.scale, version, /*with_interactive=*/false,
                                      /*sleep=*/5 * tmh::kSec, args.fuse_touch_runs));
+      tmh::ApplyTierGeometry(specs.back().machine, args.tiers);
       labels.push_back(info.name + "/" + tmh::VersionLabel(version));
     }
   }

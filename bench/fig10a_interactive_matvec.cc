@@ -31,13 +31,17 @@ int main(int argc, char** argv) {
     tasks.push_back([&, i, sleep] {
       tmh::InteractiveConfig config;
       config.sleep_time = sleep;
-      alone[i] = tmh::RunInteractiveAlone(tmh::BenchMachine(args.scale), config, 12);
+      tmh::MachineConfig machine = tmh::BenchMachine(args.scale);
+      tmh::ApplyTierGeometry(machine, args.tiers);
+      alone[i] = tmh::RunInteractiveAlone(machine, config, 12);
     });
     for (size_t v = 0; v < versions.size(); ++v) {
       const tmh::AppVersion version = versions[v];
       tasks.push_back([&, i, v, sleep, version] {
-        with_version[i * versions.size() + v] = tmh::RunExperiment(
-            tmh::BenchSpec(matvec, args.scale, version, true, sleep), &runner.compile_cache());
+        tmh::ExperimentSpec spec = tmh::BenchSpec(matvec, args.scale, version, true, sleep);
+        tmh::ApplyTierGeometry(spec.machine, args.tiers);
+        with_version[i * versions.size() + v] =
+            tmh::RunExperiment(spec, &runner.compile_cache());
       });
     }
   }

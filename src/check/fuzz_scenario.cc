@@ -85,6 +85,15 @@ Scenario MakeScenario(uint64_t seed, const ScenarioOptions& options) {
   } else if (rng.NextBelow(3) == 0) {
     s.churn_stagger = rng.NextInRange(100, 800) * kMsec;
   }
+  // Memory-tiering draws, appended after every pre-existing draw so old seeds
+  // keep their exact scenarios. Small tiers thrash on purpose: capacity
+  // eviction cascades and disk fallout are the interesting paths.
+  if (rng.NextBelow(3) == 0) {
+    s.num_slow_tiers = static_cast<int>(1 + rng.NextBelow(2));  // 1 or 2
+    s.tier_frames = rng.NextInRange(32, 256);
+    s.tier_promote_cost = rng.NextInRange(5, 50) * kUsec;
+    s.tier_demote_cost = rng.NextInRange(5, 50) * kUsec;
+  }
   return s;
 }
 
@@ -108,6 +117,16 @@ MultiExperimentSpec ToSpec(const Scenario& scenario) {
     spec.machine.tunables.daemon_period = scenario.daemon_period;
   }
   spec.machine.tunables.release_to_tail = scenario.release_to_tail;
+  if (scenario.num_slow_tiers > 0) {
+    spec.machine.tiers.push_back(TierSpec{});  // tiers[0] = DRAM
+    for (int t = 0; t < scenario.num_slow_tiers; ++t) {
+      TierSpec tier;
+      tier.frames = scenario.tier_frames;
+      tier.promote_cost = scenario.tier_promote_cost;
+      tier.demote_cost = scenario.tier_demote_cost;
+      spec.machine.tiers.push_back(tier);
+    }
+  }
   spec.with_interactive = scenario.with_interactive;
   spec.interactive.sleep_time = scenario.interactive_sleep;
   spec.max_events = scenario.max_events;
@@ -173,6 +192,11 @@ std::string Describe(const Scenario& scenario) {
   if (scenario.churn_stagger > 0) {
     os << " churn_stagger=" << scenario.churn_stagger / kMsec << "ms";
   }
+  if (scenario.num_slow_tiers > 0) {
+    os << " tiers=" << scenario.num_slow_tiers << "x" << scenario.tier_frames
+       << "f promote=" << scenario.tier_promote_cost / kUsec
+       << "us demote=" << scenario.tier_demote_cost / kUsec << "us";
+  }
   os << "\n  interactive: "
      << (scenario.with_interactive
              ? "sleep=" + std::to_string(scenario.interactive_sleep / kSec) + "s"
@@ -233,6 +257,10 @@ ScenarioOutcome RunScenario(const Scenario& scenario,
   h = Mix(h, k.monitor_soft_faults);
   h = Mix(h, k.monitor_releases_enqueued);
   h = Mix(h, k.monitor_pages_protected);
+  h = Mix(h, k.tier_demotions);
+  h = Mix(h, k.tier_promotions);
+  h = Mix(h, k.tier_evictions);
+  h = Mix(h, k.tier_writebacks);
   for (const AppMetrics& app : result.apps) {
     h = Mix(h, static_cast<uint64_t>(app.wall));
     h = Mix(h, app.faults.hard_faults);

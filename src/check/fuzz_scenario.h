@@ -70,6 +70,13 @@ struct Scenario {
   int num_nodes = 1;
   SimDuration storm_delay = 0;
   SimDuration churn_stagger = 0;
+  // Memory-tiering draws (appended after the multi-tenant draws, same
+  // bit-compatibility rule). num_slow_tiers > 0 gives the machine that many
+  // slow tiers of tier_frames frames each, turning releases into demotions.
+  int num_slow_tiers = 0;
+  int64_t tier_frames = 0;
+  SimDuration tier_promote_cost = 0;
+  SimDuration tier_demote_cost = 0;
 };
 
 // Derives the scenario for `seed` (pure function of seed and options).

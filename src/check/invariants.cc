@@ -280,6 +280,46 @@ void InvariantChecker::Validate(Kernel& kernel) {
           }
         }
       }
+      if (pte.tier != 0) {
+        // I-TIER (page side): a tiered page is never resident, keeps no DRAM
+        // rescue link, and its tier frame must carry the page's identity.
+        const auto& planes = kernel.tier_planes();
+        if (static_cast<size_t>(pte.tier) > planes.size()) {
+          Fail(now, "I-TIER",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " names slow tier " + std::to_string(pte.tier) +
+                   " but the machine has " + std::to_string(planes.size()));
+          return;
+        }
+        if (pte.resident) {
+          Fail(now, "I-TIER",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " is resident while demoted to tier " + std::to_string(pte.tier));
+          return;
+        }
+        if (pte.frame != kNoFrame) {
+          Fail(now, "I-TIER",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " keeps DRAM rescue link " + std::to_string(pte.frame) +
+                   " while demoted");
+          return;
+        }
+        const Kernel::TierPlane& plane = planes[static_cast<size_t>(pte.tier - 1)];
+        if (pte.tier_frame < 0 || pte.tier_frame >= plane.frames) {
+          Fail(now, "I-TIER",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " names out-of-range tier frame " + std::to_string(pte.tier_frame));
+          return;
+        }
+        const size_t ti = static_cast<size_t>(pte.tier_frame);
+        if (plane.owner[ti] != as.id() || plane.vpage[ti] != v) {
+          Fail(now, "I-TIER",
+               "as=" + std::to_string(as.id()) + " vpage=" + std::to_string(v) +
+                   " tier frame " + std::to_string(pte.tier_frame) +
+                   " does not carry the page's identity");
+          return;
+        }
+      }
       if (pte.invalid_reason == InvalidReason::kReleasePending) {
         if (!pte.resident) {
           Fail(now, "I-RQ",
@@ -348,6 +388,64 @@ void InvariantChecker::Validate(Kernel& kernel) {
     }
   }
 
+  // I-TIER (plane side): each slow tier partitions its frames between the
+  // free pool and occupied identity entries, with every occupied entry
+  // mirrored by the owning page's PTE (the page-side pass above checked the
+  // other direction).
+  for (size_t pi = 0; pi < kernel.tier_planes().size(); ++pi) {
+    const Kernel::TierPlane& plane = kernel.tier_planes()[pi];
+    const std::string tname = "tier " + std::to_string(pi + 1);
+    int64_t occupied = 0;
+    for (FrameId tf = 0; tf < plane.frames; ++tf) {
+      const size_t i = static_cast<size_t>(tf);
+      if (plane.owner[i] == kNoAs) {
+        if (!plane.pool->Contains(tf)) {
+          Fail(now, "I-TIER",
+               tname + " frame " + std::to_string(tf) +
+                   " is in limbo: unowned but not on the free pool");
+          return;
+        }
+        continue;
+      }
+      ++occupied;
+      if (plane.pool->Contains(tf)) {
+        Fail(now, "I-TIER",
+             tname + " frame " + std::to_string(tf) +
+                 " is occupied yet on the free pool");
+        return;
+      }
+      if (plane.owner[i] < 0 ||
+          static_cast<size_t>(plane.owner[i]) >= address_spaces.size()) {
+        Fail(now, "I-TIER",
+             tname + " frame " + std::to_string(tf) + " has invalid owner " +
+                 std::to_string(plane.owner[i]));
+        return;
+      }
+      const AddressSpace& as = *address_spaces[static_cast<size_t>(plane.owner[i])];
+      if (plane.vpage[i] < 0 || plane.vpage[i] >= as.num_pages()) {
+        Fail(now, "I-TIER",
+             tname + " frame " + std::to_string(tf) + " has out-of-range vpage " +
+                 std::to_string(plane.vpage[i]));
+        return;
+      }
+      const Pte& pte = as.page_table().at(plane.vpage[i]);
+      if (pte.tier != static_cast<uint8_t>(pi + 1) || pte.tier_frame != tf) {
+        Fail(now, "I-TIER",
+             tname + " frame " + std::to_string(tf) + " (as=" +
+                 std::to_string(plane.owner[i]) + " vpage=" +
+                 std::to_string(plane.vpage[i]) + ") not reflected in the PTE");
+        return;
+      }
+    }
+    if (occupied + plane.pool->size() != plane.frames) {
+      Fail(now, "I-TIER",
+           tname + " frames leak: " + std::to_string(occupied) + " occupied + " +
+               std::to_string(plane.pool->size()) + " pooled != " +
+               std::to_string(plane.frames));
+      return;
+    }
+  }
+
   // Oracle cross-validation: the reference model must agree exactly,
   // node by node (byte-honest per node).
   if (options_.with_oracle) {
@@ -397,6 +495,54 @@ void InvariantChecker::Validate(Kernel& kernel) {
              "frame " + std::to_string(f) + " dirty bit is " +
                  (kernel_dirty ? "set" : "clear") + " but the model has it " +
                  (model_dirty ? "set" : "clear"));
+        return;
+      }
+    }
+    // Tier cross-validation: per-tier free-list order, occupied page sets,
+    // and carried dirty bits must match the model exactly.
+    if (oracle_.num_slow_tiers() !=
+        static_cast<int>(kernel.tier_planes().size())) {
+      Fail(now, "oracle", "slow-tier count differs from the reference model");
+      return;
+    }
+    for (size_t pi = 0; pi < kernel.tier_planes().size(); ++pi) {
+      const Kernel::TierPlane& plane = kernel.tier_planes()[pi];
+      const VmOracle::TierModel& model = oracle_.tier(static_cast<int>(pi));
+      const std::string tname = "tier " + std::to_string(pi + 1);
+      const std::vector<FrameId> kfree = plane.pool->NodeToVector(0);
+      if (model.free.size() != kfree.size() ||
+          !std::equal(model.free.begin(), model.free.end(), kfree.begin())) {
+        Fail(now, "oracle",
+             tname + " free-list order differs from the reference model");
+        return;
+      }
+      int64_t occupied = 0;
+      for (FrameId tf = 0; tf < plane.frames; ++tf) {
+        const size_t i = static_cast<size_t>(tf);
+        if (plane.owner[i] == kNoAs) {
+          continue;
+        }
+        ++occupied;
+        const auto it = model.pages.find({plane.owner[i], plane.vpage[i]});
+        if (it == model.pages.end() || it->second.tf != tf) {
+          Fail(now, "oracle",
+               tname + " frame " + std::to_string(tf) + " (as=" +
+                   std::to_string(plane.owner[i]) + " vpage=" +
+                   std::to_string(plane.vpage[i]) +
+                   ") is not where the reference model has it");
+          return;
+        }
+        if (it->second.dirty != (plane.dirty[i] != 0)) {
+          Fail(now, "oracle",
+               tname + " frame " + std::to_string(tf) +
+                   " carried dirty bit differs from the reference model");
+          return;
+        }
+      }
+      if (occupied != static_cast<int64_t>(model.pages.size())) {
+        Fail(now, "oracle",
+             tname + " occupancy " + std::to_string(occupied) +
+                 " differs from the model's " + std::to_string(model.pages.size()));
         return;
       }
     }

@@ -30,8 +30,15 @@
 //   I-RQ    release-pending PTEs are resident and queued (kernel release
 //           queue or the releaser's gathered-but-unresolved batch). Catches
 //           dropped release requests.
+//   I-TIER  memory tiering (tiered machines only): each slow tier's frames
+//           partition exactly into free pool + occupied identity entries;
+//           every occupied tier frame is mirrored by its page's PTE (tier,
+//           tier_frame) and vice versa; a tiered page is never resident and
+//           keeps no DRAM rescue link. Catches lost or duplicated pages
+//           across demote/promote/evict migrations.
 //   oracle  residency set, frame assignment, dirty set, and free-list order
-//           all equal the reference model's.
+//           all equal the reference model's; on tiered machines also each
+//           tier's free order, page placement, and carried dirty bits.
 //
 // The first violation is recorded with the tail of recent VM hook events for
 // context, and checking stops (kernel state after a violation is suspect).

@@ -42,6 +42,22 @@ void VmOracle::SeedFromKernel(const Kernel& kernel) {
       }
     }
   }
+  // Slow tiers (memory-tiering extension): snapshot each plane's free pool in
+  // pop order and its occupied-frame identity arrays.
+  tiers_.clear();
+  for (const Kernel::TierPlane& plane : kernel.tier_planes()) {
+    TierModel model;
+    const std::vector<FrameId> fl = plane.pool->NodeToVector(0);
+    model.free.assign(fl.begin(), fl.end());
+    for (FrameId tf = 0; tf < plane.frames; ++tf) {
+      const size_t i = static_cast<size_t>(tf);
+      if (plane.owner[i] != kNoAs) {
+        model.pages[{plane.owner[i], plane.vpage[i]}] =
+            TierEntry{tf, plane.dirty[i] != 0};
+      }
+    }
+    tiers_.push_back(std::move(model));
+  }
   maxrss_pages_ = kernel.config().tunables.maxrss_pages;
   min_freemem_pages_ = kernel.config().tunables.min_freemem_pages;
 }
@@ -252,6 +268,100 @@ void VmOracle::Apply(const VmHookEvent& event) {
                            std::to_string(upper) + ")");
         return;
       }
+      break;
+    }
+    case VmHookOp::kDemote: {
+      // Fires with the page still resident on the DRAM frame; the ordinary
+      // kUnmap / kFreePush stream follows. The contents migrate carrying the
+      // dirty bit, so the DRAM frame turns clean here (no writeback) and the
+      // upcoming free push must pass the dirty check.
+      const int tier = static_cast<int>(event.a);
+      if (tier < 1 || tier > num_slow_tiers()) {
+        Diverge(event, "demotion into a tier the model does not have");
+        return;
+      }
+      TierModel& model = tiers_[static_cast<size_t>(tier - 1)];
+      if (FrameOf(event.as, event.vpage) != event.frame) {
+        Diverge(event, "demoted page not resident on the hook's frame");
+        return;
+      }
+      if (model.pages.count({event.as, event.vpage}) != 0) {
+        Diverge(event, "demoted page already occupies a frame in that tier");
+        return;
+      }
+      if (model.free.empty() || model.free.front() != event.b) {
+        Diverge(event, "demotion did not pop the tier free-list head");
+        return;
+      }
+      model.free.pop_front();
+      const bool carried = dirty_.erase(event.frame) != 0;
+      model.pages[{event.as, event.vpage}] =
+          TierEntry{static_cast<FrameId>(event.b), carried};
+      break;
+    }
+    case VmHookOp::kPromote: {
+      // Fires after kMap, so the model must already see the page resident on
+      // the fresh DRAM frame; the carried dirty bit is restored hook-free.
+      const int tier = static_cast<int>(event.a);
+      if (tier < 1 || tier > num_slow_tiers()) {
+        Diverge(event, "promotion out of a tier the model does not have");
+        return;
+      }
+      TierModel& model = tiers_[static_cast<size_t>(tier - 1)];
+      const auto it = model.pages.find({event.as, event.vpage});
+      if (it == model.pages.end()) {
+        Diverge(event, "promotion of a page the model has outside that tier");
+        return;
+      }
+      if (it->second.tf != event.b) {
+        Diverge(event, "promotion tier-frame mismatch (model tf=" +
+                           std::to_string(it->second.tf) + ")");
+        return;
+      }
+      if (FrameOf(event.as, event.vpage) != event.frame) {
+        Diverge(event, "promoted page not resident on the hook's frame");
+        return;
+      }
+      if (it->second.dirty && !dirty_.insert(event.frame).second) {
+        Diverge(event, "carried dirty bit restored onto an already-dirty frame");
+        return;
+      }
+      model.free.push_front(it->second.tf);
+      model.pages.erase(it);
+      break;
+    }
+    case VmHookOp::kTierEvict: {
+      // Capacity eviction inside the hierarchy: the victim's tier frame goes
+      // back to its pool head; the page cascades one tier deeper (b > 0,
+      // popping the deeper pool's head) or falls out to disk (b == 0).
+      const int from = static_cast<int>(event.a);
+      const int to = static_cast<int>(event.b);
+      if (from < 1 || from > num_slow_tiers() || to < 0 || to > num_slow_tiers()) {
+        Diverge(event, "tier eviction between tiers the model does not have");
+        return;
+      }
+      TierModel& src = tiers_[static_cast<size_t>(from - 1)];
+      const auto it = src.pages.find({event.as, event.vpage});
+      if (it == src.pages.end()) {
+        Diverge(event, "tier eviction of a page the model has outside the tier");
+        return;
+      }
+      const TierEntry victim = it->second;
+      if (to > 0) {
+        TierModel& dst = tiers_[static_cast<size_t>(to - 1)];
+        if (dst.free.empty() || dst.free.front() != event.frame) {
+          Diverge(event, "cascaded eviction did not pop the deeper free-list head");
+          return;
+        }
+        if (dst.pages.count({event.as, event.vpage}) != 0) {
+          Diverge(event, "cascaded page already occupies a frame in the deeper tier");
+          return;
+        }
+        dst.free.pop_front();
+        dst.pages[{event.as, event.vpage}] = TierEntry{event.frame, victim.dirty};
+      }
+      src.pages.erase(it);
+      src.free.push_front(victim.tf);
       break;
     }
   }

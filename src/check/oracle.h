@@ -16,7 +16,9 @@
 //
 // The oracle replays the kernel-visible operation stream (src/os/vm_hooks.h):
 // frame allocation, map/unmap, free-list pushes, rescues, writebacks, dirty
-// transitions, and shared-header updates. Each operation is checked against
+// transitions, shared-header updates, and — on tiered machines — the
+// demote/promote/evict migration stream, replayed against per-tier page maps
+// and free lists of its own. Each operation is checked against
 // the model as it is applied — an allocation must pop the model's free-list
 // head, a rescue must find the frame mid-list, a writeback must target a
 // dirty frame, a published Eq. 1 header must match the model's own
@@ -30,6 +32,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/os/vm_hooks.h"
@@ -72,6 +75,22 @@ class VmOracle {
   [[nodiscard]] int64_t ResidentCount(AsId as) const;
   [[nodiscard]] const std::set<FrameId>& dirty() const { return dirty_; }
 
+  // Per-slow-tier reference model (memory-tiering extension): which (as,
+  // vpage) each occupied tier frame holds with its carried dirty bit, plus
+  // the tier's free list in pop order. Index = slow tier number minus one.
+  struct TierEntry {
+    FrameId tf = kNoFrame;
+    bool dirty = false;
+  };
+  struct TierModel {
+    std::map<std::pair<AsId, VPage>, TierEntry> pages;
+    std::deque<FrameId> free;
+  };
+  [[nodiscard]] int num_slow_tiers() const { return static_cast<int>(tiers_.size()); }
+  [[nodiscard]] const TierModel& tier(int slow_index) const {
+    return tiers_[static_cast<size_t>(slow_index)];
+  }
+
   // Eq. 1 recomputed from the model's own state:
   //   upper = max(0, min(maxrss, resident + free - min_freemem)).
   [[nodiscard]] int64_t UpperLimit(AsId as) const;
@@ -96,6 +115,7 @@ class VmOracle {
   std::map<FrameId, std::pair<AsId, VPage>> mapped_;  // reverse of resident_
   std::set<FrameId> dirty_;
   std::set<FrameId> writeback_;                    // page-outs in flight
+  std::vector<TierModel> tiers_;                   // slow tiers, index = tier-1
 
   int64_t maxrss_pages_ = 0;
   int64_t min_freemem_pages_ = 0;

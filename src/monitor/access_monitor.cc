@@ -151,12 +151,21 @@ void AccessMonitor::ApplySchemes(AsState& state) {
   AddressSpace* as = state.as;
   int64_t budget = config_.cold_quota_pages;
   bool enqueued_any = false;
+  // Tiered machines: cold releases demote instead of freeing. Resolve the
+  // target depth once per window — config 0 means the deepest tier.
+  const int32_t slow = kernel_->config().num_slow_tiers();
+  const int32_t depth =
+      slow > 0 ? (config_.demote_tier > 0
+                      ? static_cast<int32_t>(
+                            std::min<int64_t>(config_.demote_tier, slow))
+                      : slow)
+               : 0;
   for (MonitorRegion& region : state.regions) {
     if (config_.release_cold && region.nr_accesses <= config_.cold_max_accesses &&
         region.age >= config_.cold_min_age && budget > 0) {
       ++stats_.cold_regions_actioned;
       for (VPage p = region.begin; p < region.end && budget > 0; ++p) {
-        if (kernel_->MonitorEnqueueRelease(as, p)) {
+        if (kernel_->MonitorEnqueueRelease(as, p, depth)) {
           ++stats_.cold_pages_enqueued;
           --budget;
           enqueued_any = true;

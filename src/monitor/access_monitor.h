@@ -67,6 +67,11 @@ struct MonitorConfig {
   int64_t cold_max_accesses = 0;
   int64_t cold_min_age = 2;
   int64_t cold_quota_pages = 512;
+  // On tiered machines, the slow tier cold releases demote into: 0 picks the
+  // deepest tier (monitored coldness carries no reuse hint, like a priority-0
+  // release), k > 0 pins tier min(k, num_slow_tiers). Ignored when the
+  // machine has no slow tiers — releases free frames exactly as before.
+  int64_t demote_tier = 0;
   // Hot: a region with nr_accesses >= hot_min_accesses in the closed window
   // gets its frames' reference bits re-set, shielding it from the clock for
   // one daemon pass (the Eq. 2 priority analog).

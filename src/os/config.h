@@ -10,6 +10,7 @@
 #define TMH_SRC_OS_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/disk/swap_space.h"
 #include "src/sim/time.h"
@@ -85,6 +86,17 @@ struct Tunables {
   double daemon_min_sweep_fraction = 0.25;
 };
 
+// One level of the physical-memory hierarchy (extension beyond the paper's
+// binary resident/on-disk model). tiers[0] always describes DRAM — its
+// `frames` field is ignored because DRAM capacity stays derived from
+// user_memory_bytes — and entries 1..N-1 describe progressively slower tiers
+// (e.g. CXL-attached memory) that releases demote into instead of freeing.
+struct TierSpec {
+  int64_t frames = 0;            // capacity in pages (ignored for tiers[0])
+  SimDuration promote_cost = 25 * kUsec;  // CPU charge to migrate one page up
+  SimDuration demote_cost = 25 * kUsec;   // CPU charge to migrate one page down
+};
+
 struct MachineConfig {
   int num_cpus = 4;
   // Scheduler fast path: when a CPU frees up and no other event is pending at
@@ -106,6 +118,17 @@ struct MachineConfig {
   CostModel costs;
   Tunables tunables;
   SwapConfig swap;
+  // Memory-tier geometry. Empty = the paper's binary model (equivalent to a
+  // single DRAM tier); {DRAM} is the degenerate N=1 configuration, which flows
+  // through the tier-gated code paths but produces byte-identical behavior
+  // because there is never a "next tier" to demote into.
+  std::vector<TierSpec> tiers;
+
+  [[nodiscard]] int num_tiers() const {
+    return tiers.empty() ? 1 : static_cast<int>(tiers.size());
+  }
+  [[nodiscard]] bool has_slow_tiers() const { return tiers.size() > 1; }
+  [[nodiscard]] int num_slow_tiers() const { return num_tiers() - 1; }
 
   [[nodiscard]] int64_t num_frames() const { return user_memory_bytes / page_size_bytes; }
   [[nodiscard]] int64_t BytesToPages(int64_t bytes) const {

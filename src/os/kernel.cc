@@ -31,6 +31,28 @@ Kernel::Kernel(const MachineConfig& config)
     free_list_.PushTail(f);
   }
   node_allocations_.assign(static_cast<size_t>(free_list_.num_nodes()), 0);
+  // Slow-tier planes (memory-tiering extension). tiers[0] is DRAM (capacity
+  // comes from user_memory_bytes, handled above); each further entry gets its
+  // own frame pool, identity arrays, and clock hand. With no slow tiers this
+  // loop builds nothing and no tier code runs anywhere.
+  if (TMH_UNLIKELY(config.has_slow_tiers())) {
+    tier_planes_.reserve(config.tiers.size() - 1);
+    for (size_t t = 1; t < config.tiers.size(); ++t) {
+      const TierSpec& spec = config.tiers[t];
+      TierPlane plane;
+      plane.frames = spec.frames > 0 ? spec.frames : 1;
+      plane.pool = std::make_unique<FramePool>(plane.frames, /*num_nodes=*/1);
+      for (FrameId tf = 0; tf < plane.frames; ++tf) {
+        plane.pool->PushTail(tf);
+      }
+      plane.owner.assign(static_cast<size_t>(plane.frames), kNoAs);
+      plane.vpage.assign(static_cast<size_t>(plane.frames), kNoVPage);
+      plane.dirty.assign(static_cast<size_t>(plane.frames), 0);
+      plane.promote_cost = spec.promote_cost;
+      plane.demote_cost = spec.demote_cost;
+      tier_planes_.push_back(std::move(plane));
+    }
+  }
 }
 
 Kernel::~Kernel() = default;
@@ -138,6 +160,10 @@ void Kernel::PublishMetrics() {
   pub("kernel.monitor_soft_faults", stats_.monitor_soft_faults);
   pub("kernel.monitor_releases_enqueued", stats_.monitor_releases_enqueued);
   pub("kernel.monitor_pages_protected", stats_.monitor_pages_protected);
+  pub("kernel.tier_demotions", stats_.tier_demotions);
+  pub("kernel.tier_promotions", stats_.tier_promotions);
+  pub("kernel.tier_evictions", stats_.tier_evictions);
+  pub("kernel.tier_writebacks", stats_.tier_writebacks);
   pub("kernel.swap_reads", swap_->reads());
   pub("kernel.swap_writes", swap_->writes());
   pub("kernel.trace_events_dropped", event_log_.dropped());
@@ -722,6 +748,88 @@ bool Kernel::EvictLocalVictim(AddressSpace* as) {
   return false;
 }
 
+// --- memory-tiering migration (extension) -------------------------------------
+
+FrameId Kernel::TierTakeFrame(int tier, SimDuration* cost) {
+  TierPlane& plane = tier_planes_[static_cast<size_t>(tier - 1)];
+  FrameId tf = plane.pool->PopHeadFromNode(0);
+  if (tf != kNoFrame) {
+    return tf;
+  }
+  // Capacity eviction: the clock hand picks the victim (with an empty pool
+  // every tier frame is occupied, so the hand's frame is it). The victim
+  // cascades one tier deeper, or drops to disk from the last tier; either way
+  // its frame lands on the pool head and is popped right back for the caller.
+  FrameId victim = plane.clock_hand;
+  for (int64_t scanned = 0; scanned < plane.frames; ++scanned) {
+    if (plane.owner[static_cast<size_t>(victim)] != kNoAs) {
+      break;
+    }
+    victim = (victim + 1) % plane.frames;
+  }
+  plane.clock_hand = (victim + 1) % plane.frames;
+  const AsId vas = plane.owner[static_cast<size_t>(victim)];
+  const VPage vp = plane.vpage[static_cast<size_t>(victim)];
+  const bool vdirty = plane.dirty[static_cast<size_t>(victim)] != 0;
+  AddressSpace* as = address_spaces_[static_cast<size_t>(vas)].get();
+  Pte& vpte = as->page_table().at(vp);
+  const int num_slow = static_cast<int>(tier_planes_.size());
+  if (tier < num_slow) {
+    const FrameId dest = TierTakeFrame(tier + 1, cost);
+    TierPlane& deeper = tier_planes_[static_cast<size_t>(tier)];
+    deeper.owner[static_cast<size_t>(dest)] = vas;
+    deeper.vpage[static_cast<size_t>(dest)] = vp;
+    deeper.dirty[static_cast<size_t>(dest)] = vdirty ? 1 : 0;
+    vpte.tier = static_cast<uint8_t>(tier + 1);
+    vpte.tier_frame = dest;
+    *cost += deeper.demote_cost;
+    Hook(VmHookOp::kTierEvict, vas, vp, dest, tier, tier + 1);
+  } else {
+    // Last tier: the page falls out of the hierarchy. Its contents survive on
+    // swap only if clean there already; a dirty victim charges a synchronous
+    // page-out cost (the migration engine's write queue, modeled CPU-side).
+    vpte.tier = 0;
+    vpte.tier_frame = kNoFrame;
+    if (vdirty) {
+      ++stats_.tier_writebacks;
+      *cost += plane.demote_cost;
+    }
+    Hook(VmHookOp::kTierEvict, vas, vp, kNoFrame, tier, 0);
+  }
+  plane.owner[static_cast<size_t>(victim)] = kNoAs;
+  plane.vpage[static_cast<size_t>(victim)] = kNoVPage;
+  plane.dirty[static_cast<size_t>(victim)] = 0;
+  plane.pool->PushHead(victim);
+  ++stats_.tier_evictions;
+  return plane.pool->PopHeadFromNode(0);
+}
+
+SimDuration Kernel::DemotePage(AddressSpace* as, VPage vpage, int depth) {
+  SimDuration cost = 0;
+  Pte& pte = as->page_table().at(vpage);
+  const FrameId f = pte.frame;
+  TierPlane& plane = tier_planes_[static_cast<size_t>(depth - 1)];
+  const FrameId tf = TierTakeFrame(depth, &cost);
+  // Hook order matters for the oracle: kDemote sees the page still resident
+  // on `f` and pops the tier pool's head, then the ordinary kUnmap/kFreePush
+  // stream follows with the frame already clean (the contents moved, so no
+  // writeback happens and the free push passes the oracle's dirty check).
+  Hook(VmHookOp::kDemote, as->id(), vpage, f, depth, tf);
+  UnmapFrame(as, vpage, FreedBy::kReleaser);
+  plane.owner[static_cast<size_t>(tf)] = as->id();
+  plane.vpage[static_cast<size_t>(tf)] = vpage;
+  plane.dirty[static_cast<size_t>(tf)] = frames_.dirty(f) ? 1 : 0;
+  pte.frame = kNoFrame;  // no DRAM rescue: the authoritative copy moved away
+  pte.tier = static_cast<uint8_t>(depth);
+  pte.tier_frame = tf;
+  frames_.set_dirty(f, false);           // contents migrated, not written back
+  frames_.set_contents_valid(f, false);  // the DRAM copy is dead
+  FreeFrame(f, /*at_tail=*/config_.tunables.release_to_tail);
+  cost += plane.demote_cost;
+  ++stats_.tier_demotions;
+  return cost;
+}
+
 void Kernel::MaybeNotifySharedHeaders() {
   const int64_t threshold = config_.tunables.shared_header_notify_threshold;
   if (threshold <= 0) {
@@ -910,6 +1018,39 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     return ExecResult::kBlocked;
   }
 
+  // Promotion from a slow tier (memory-tiering extension): the page's
+  // authoritative contents live in tier pte.tier, so migrate them up into the
+  // fresh DRAM frame — no disk I/O, carried dirty bit restored.
+  if (TMH_UNLIKELY(pte.tier != 0)) {
+    const int tier = pte.tier;
+    const FrameId tf = pte.tier_frame;
+    TierPlane& plane = tier_planes_[static_cast<size_t>(tier - 1)];
+    MapFrame(as, op.vpage, f, /*validate=*/true);
+    frames_.set_referenced(f, true);
+    if (plane.dirty[static_cast<size_t>(tf)] != 0) {
+      // Restore without the kDirty hook: the oracle re-inserts the carried
+      // dirty bit while replaying kPromote (a migration, not a first store).
+      frames_.set_dirty(f, true);
+    }
+    Hook(VmHookOp::kPromote, as->id(), op.vpage, f, tier, tf);
+    plane.owner[static_cast<size_t>(tf)] = kNoAs;
+    plane.vpage[static_cast<size_t>(tf)] = kNoVPage;
+    plane.dirty[static_cast<size_t>(tf)] = 0;
+    plane.pool->PushHead(tf);
+    pte.tier = 0;
+    pte.tier_frame = kNoFrame;
+    if (op.is_write) {
+      MarkDirty(f);
+    }
+    Charge(t, elapsed, plane.promote_cost, &TimeBreakdown::system);
+    ++t->faults_.soft_faults;
+    ++stats_.tier_promotions;
+    UpdateSharedHeader(as);
+    ReleaseLock(t, lock);
+    Charge(t, elapsed, op.duration, &TimeBreakdown::user);
+    return ExecResult::kCompleted;
+  }
+
   const bool needs_io =
       pte.ever_materialized || as->BackingOf(op.vpage) == Backing::kSwap;
   if (!needs_io) {
@@ -944,7 +1085,7 @@ Kernel::ExecResult Kernel::DoTouch(Thread* t, Op& op, SimDuration* elapsed) {
     }
     const Pte& npte = as->page_table().at(next);
     const bool backed = npte.ever_materialized || as->BackingOf(next) == Backing::kSwap;
-    if (npte.resident || npte.frame != kNoFrame || !backed) {
+    if (npte.resident || npte.frame != kNoFrame || npte.tier != 0 || !backed) {
       continue;
     }
     IssueReadAhead(as, next);
@@ -1153,6 +1294,16 @@ Kernel::ExecResult Kernel::DoPrefetch(Thread* t, Op& op, SimDuration* elapsed) {
     pte.frame = kNoFrame;
   }
 
+  // A page held in a slow tier promotes on touch, never on prefetch: the
+  // authoritative copy is in the tier, not on swap, so a swap read here would
+  // resurrect stale contents.
+  if (TMH_UNLIKELY(pte.tier != 0)) {
+    ++stats_.prefetch_noop;
+    ++as->stats().prefetches_noop;
+    ReleaseLock(t, lock);
+    return ExecResult::kCompleted;
+  }
+
   // Never-materialized anonymous page: nothing on swap to fetch.
   if (!pte.ever_materialized && as->BackingOf(op.vpage) != Backing::kSwap) {
     ++stats_.prefetch_noop;
@@ -1222,6 +1373,15 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
   ++stats_.release_requests;
   ++as->stats().release_requests;
 
+  // On a tiered machine the Eq. 2 reuse priority chooses the demotion depth:
+  // priority 0 (no expected reuse) sinks to the deepest tier; each higher
+  // priority keeps the page one tier closer to DRAM.
+  int32_t depth = 0;
+  if (TMH_UNLIKELY(config_.has_slow_tiers())) {
+    const int32_t slow = config_.num_slow_tiers();
+    depth = std::clamp<int32_t>(slow - op.priority, 1, slow);
+  }
+
   bool enqueued_any = false;
   for (VPage p = op.vpage; p < op.vpage + op.count; ++p) {
     if (p < 0 || p >= as->num_pages()) {
@@ -1242,7 +1402,7 @@ Kernel::ExecResult Kernel::DoRelease(Thread* t, Op& op, SimDuration* elapsed) {
     pte.valid = false;
     pte.invalid_reason = InvalidReason::kReleasePending;
     as->page_table().SyncValid(p);
-    release_work_.push_back(ReleaseWorkItem{as, p});
+    release_work_.push_back(ReleaseWorkItem{as, p, depth});
     if (TMH_UNLIKELY(observing_)) {
       event_log_.Record(Now(), KernelEventType::kReleaseEnqueue, t->id(), as->id(), p);
     }
@@ -1291,7 +1451,7 @@ bool Kernel::MonitorSamplePage(AddressSpace* as, VPage vpage) {
   return true;
 }
 
-bool Kernel::MonitorEnqueueRelease(AddressSpace* as, VPage vpage) {
+bool Kernel::MonitorEnqueueRelease(AddressSpace* as, VPage vpage, int32_t depth) {
   if (vpage < 0 || vpage >= as->num_pages()) {
     return false;
   }
@@ -1311,7 +1471,7 @@ bool Kernel::MonitorEnqueueRelease(AddressSpace* as, VPage vpage) {
   pte.valid = false;
   pte.invalid_reason = InvalidReason::kReleasePending;
   as->page_table().SyncValid(vpage);
-  release_work_.push_back(ReleaseWorkItem{as, vpage});
+  release_work_.push_back(ReleaseWorkItem{as, vpage, depth});
   if (TMH_UNLIKELY(observing_)) {
     event_log_.Record(Now(), KernelEventType::kReleaseEnqueue, /*thread=*/0, as->id(), vpage);
   }

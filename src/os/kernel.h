@@ -72,6 +72,10 @@ struct KernelStats {
   uint64_t monitor_pages_protected = 0;   // reference bits re-set for hot regions
   uint64_t touch_runs_bulk = 0;      // fused kTouchRun ops validated & charged whole
   uint64_t touch_runs_replayed = 0;  // fused ops degraded to the per-touch replay
+  uint64_t tier_demotions = 0;       // releases that migrated a page to a slow tier
+  uint64_t tier_promotions = 0;      // touches that migrated a page back to DRAM
+  uint64_t tier_evictions = 0;       // tier-capacity evictions (cascade or to disk)
+  uint64_t tier_writebacks = 0;      // dirty last-tier evictions charged a page-out
 };
 
 class Kernel {
@@ -148,7 +152,8 @@ class Kernel {
   // protocol as a release syscall's per-page body (invalidate, mark
   // release-pending, queue; rescue-able until actually freed). Returns true if
   // the page was queued. Call MonitorPublishReleases(as) once per batch.
-  bool MonitorEnqueueRelease(AddressSpace* as, VPage vpage);
+  // `depth` is the slow tier to demote into (0 = free, non-tiered behavior).
+  bool MonitorEnqueueRelease(AddressSpace* as, VPage vpage, int32_t depth = 0);
 
   // Batch epilogue for MonitorEnqueueRelease: refreshes the shared page
   // header and wakes the releaser, mirroring the tail of the release syscall.
@@ -210,13 +215,35 @@ class Kernel {
 
   // Pending releaser work, in syscall order. Checker/test introspection: the
   // invariant "every release-pending PTE is queued here or gathered into the
-  // releaser's unresolved batch" is cross-validated against this.
+  // releaser's unresolved batch" is cross-validated against this. `depth` is
+  // the slow tier the page demotes into (memory-tiering machines; 0 = free to
+  // the DRAM free list, the paper's behavior).
   struct ReleaseWorkItem {
     AddressSpace* as;
     VPage vpage;
+    int32_t depth;
   };
   [[nodiscard]] const RingBuffer<ReleaseWorkItem>& release_work() const {
     return release_work_;
+  }
+
+  // One slow memory tier's physical plane (memory-tiering extension): a free
+  // pool of tier-frame ids, dense identity arrays recording which (as, vpage)
+  // each occupied tier frame holds, the page's dirty-at-demotion bit, and a
+  // clock hand for capacity eviction. Index in tier_planes_ is slow-tier
+  // number minus one; the default machine carries none.
+  struct TierPlane {
+    std::unique_ptr<FramePool> pool;  // free tier frames (single node)
+    std::vector<AsId> owner;          // kNoAs when the tier frame is free
+    std::vector<VPage> vpage;
+    std::vector<uint8_t> dirty;       // page was dirty when it left DRAM
+    int64_t frames = 0;
+    FrameId clock_hand = 0;
+    SimDuration promote_cost = 0;
+    SimDuration demote_cost = 0;
+  };
+  [[nodiscard]] const std::vector<TierPlane>& tier_planes() const {
+    return tier_planes_;
   }
 
   // --- PagingDirected policy module entry points ------------------------------
@@ -323,6 +350,15 @@ class Kernel {
   // Local-replacement extension: evicts one of `as`'s own pages (round-robin
   // clock over its page table). Returns true if a victim was freed.
   bool EvictLocalVictim(AddressSpace* as);
+  // Memory-tiering extension. DemotePage migrates the resident page (as,
+  // vpage) into slow tier `depth` (releaser context: owner's lock held,
+  // re-checks passed) and frees its DRAM frame; returns the CPU cost of the
+  // migration. TierTakeFrame hands out a free frame of slow tier `tier`,
+  // evicting the clock-hand victim (cascading to the next tier, or to disk
+  // from the last) when the tier is full; eviction cost accumulates into
+  // *cost.
+  SimDuration DemotePage(AddressSpace* as, VPage vpage, int depth);
+  FrameId TierTakeFrame(int tier, SimDuration* cost);
   // Read-ahead clustering: starts an unvalidated page-in of `vpage` (caller
   // holds the AS lock and has verified the page is absent and backed).
   void IssueReadAhead(AddressSpace* as, VPage vpage);
@@ -333,6 +369,8 @@ class Kernel {
   FrameTable frames_;
   FramePool free_list_;
   std::unique_ptr<SwapSpace> swap_;
+  // Slow-tier planes (empty unless config_.has_slow_tiers()).
+  std::vector<TierPlane> tier_planes_;
 
   std::vector<std::unique_ptr<AddressSpace>> address_spaces_;
   std::vector<std::unique_ptr<Thread>> threads_;

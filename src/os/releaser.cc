@@ -40,7 +40,8 @@ AddressSpace* Releaser::GatherBatch() {
   const int batch_limit = k.config_.tunables.releaser_batch;
   while (!k.release_work_.empty() && static_cast<int>(batch_.size()) < batch_limit &&
          k.release_work_.front().as == as) {
-    batch_.push_back(k.release_work_.front().vpage);
+    batch_.push_back(BatchEntry{k.release_work_.front().vpage,
+                                k.release_work_.front().depth});
     k.release_work_.pop_front();
   }
   batch_resolved_ = false;
@@ -59,7 +60,8 @@ SimDuration Releaser::ProcessBatch() {
   SimDuration cost = 0;
   int64_t freed = 0;
   ++k.stats_.releaser_batches;
-  for (const VPage p : batch_) {
+  for (const BatchEntry& entry : batch_) {
+    const VPage p = entry.vpage;
     cost += costs.releaser_per_page;
     Pte& pte = page_table.at(p);
     // Re-check that the page has not been referenced again (a re-touch
@@ -78,8 +80,14 @@ SimDuration Releaser::ProcessBatch() {
       continue;
     }
     const FrameId f = pte.frame;
-    k.UnmapFrame(batch_as_, p, FreedBy::kReleaser);
-    k.FreeFrame(f, /*at_tail=*/release_to_tail);
+    if (TMH_UNLIKELY(entry.depth > 0)) {
+      // Tiered machine: the release is a demotion hint — migrate the page
+      // into its Eq. 2-chosen tier instead of dropping it to the free list.
+      cost += k.DemotePage(batch_as_, p, entry.depth);
+    } else {
+      k.UnmapFrame(batch_as_, p, FreedBy::kReleaser);
+      k.FreeFrame(f, /*at_tail=*/release_to_tail);
+    }
     ++k.stats_.releaser_pages_freed;
     ++as_stats.pages_released;
     ++freed;

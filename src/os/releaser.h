@@ -35,7 +35,14 @@ class Releaser : public Program {
   // not yet resolved by ProcessBatch (the lock wait can be long). Empty once
   // the batch has been processed.
   [[nodiscard]] std::vector<VPage> UnresolvedBatch() const {
-    return batch_resolved_ ? std::vector<VPage>{} : batch_;
+    std::vector<VPage> pages;
+    if (!batch_resolved_) {
+      pages.reserve(batch_.size());
+      for (const BatchEntry& entry : batch_) {
+        pages.push_back(entry.vpage);
+      }
+    }
+    return pages;
   }
   [[nodiscard]] const AddressSpace* batch_as() const {
     return batch_resolved_ ? nullptr : batch_as_;
@@ -43,6 +50,13 @@ class Releaser : public Program {
 
  private:
   enum class Phase : uint8_t { kIdle, kLocked, kUnlock };
+
+  // One gathered release request. `depth` > 0 demotes the page into that slow
+  // tier (memory-tiering machines) instead of freeing its frame.
+  struct BatchEntry {
+    VPage vpage;
+    int32_t depth;
+  };
 
   // Pops up to releaser_batch same-address-space items off the kernel's
   // release work queue into batch_. Returns the target AS or nullptr if the
@@ -55,7 +69,7 @@ class Releaser : public Program {
   Kernel* kernel_;
   WaitQueue wq_;
   Phase phase_ = Phase::kIdle;
-  std::vector<VPage> batch_;
+  std::vector<BatchEntry> batch_;
   AddressSpace* batch_as_ = nullptr;
   bool batch_resolved_ = true;
 };

@@ -44,6 +44,9 @@ enum class VmHookOp : uint8_t {
   kReleaserBatch,  // one releaser batch resolved; a = pages freed
   kDaemonSweep,    // one paging-daemon batch resolved; a = pages stolen
   kHeaderUpdate,   // shared header written; a = current usage, b = upper limit
+  kDemote,         // page moving DRAM -> slow tier; a = dest tier, b = tier frame
+  kPromote,        // page moved slow tier -> DRAM; a = source tier, b = tier frame
+  kTierEvict,      // tier-frame eviction; a = source tier, b = dest tier (0 = disk)
 };
 
 // Stable lower_snake name, for violation reports and event-tail dumps.
@@ -65,6 +68,9 @@ inline const char* VmHookOpName(VmHookOp op) {
     case VmHookOp::kReleaserBatch: return "releaser_batch";
     case VmHookOp::kDaemonSweep: return "daemon_sweep";
     case VmHookOp::kHeaderUpdate: return "header_update";
+    case VmHookOp::kDemote: return "demote";
+    case VmHookOp::kPromote: return "promote";
+    case VmHookOp::kTierEvict: return "tier_evict";
   }
   return "?";
 }

@@ -37,6 +37,12 @@ struct Pte {
   // True once the page has been written at least once; a never-written page is
   // zero-filled on first touch instead of paged in from swap.
   bool ever_materialized = false;
+  // Slow-tier residency (memory-tiering extension). 0 = not held in a slow
+  // tier; k > 0 = the page's contents live in slow tier k (1-based), in that
+  // tier's frame `tier_frame`. A tiered page is never `resident`: promotion
+  // back to DRAM goes through the normal fault path.
+  uint8_t tier = 0;
+  FrameId tier_frame = kNoFrame;
 };
 
 class PageTable {

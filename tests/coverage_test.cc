@@ -1,6 +1,7 @@
 // Additional targeted coverage: the disk elevator, software-pipelining
-// prologue, per-nest adaptive compilation, and release-policy interplay that
-// the broader suites only exercise indirectly.
+// prologue, per-nest adaptive compilation, release-policy interplay, frame-
+// pool wrap-order fallback, and ring-buffer growth edges that the broader
+// suites only exercise indirectly.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,8 @@
 #include "src/disk/disk.h"
 #include "src/runtime/interpreter.h"
 #include "src/runtime/runtime_layer.h"
+#include "src/sim/ring_buffer.h"
+#include "src/vm/frame_pool.h"
 #include "tests/testutil.h"
 
 namespace tmh {
@@ -233,6 +236,58 @@ TEST(ReadAheadTest, TouchOfClusteredPageCollapsesOrValidatesCheaply) {
   EXPECT_LT(t->faults().hard_faults, 6u);
   EXPECT_GT(t->faults().fresh_prefetch_touches + t->faults().collapsed_faults, 0u);
   EXPECT_GT(t->fault_service().count(), 0u);  // service-time accounting is live
+}
+
+TEST(FramePoolCoverageTest, PopHeadWrapOrderAtNonPowerOfTwoNodeCount) {
+  // PopHead's fallback rotates a 64-bit occupancy mask and takes countr_zero;
+  // with a non-power-of-two node count (6) the wrapped bits land at positions
+  // >= 64 - shift, so a nonempty node BELOW the preferred one must still be
+  // found, and in wrap order (home, home+1, ..., N-1, 0, ...), never by raw
+  // bit index. 48 frames / 6 nodes = 8 per node; frame 8*n belongs to node n.
+  FramePool pool(48, 6);
+  for (int node = 0; node < 6; ++node) {
+    pool.PushTail(static_cast<FrameId>(8 * node));
+  }
+  // Preferred node 3: full wrap order is 3, 4, 5, 0, 1, 2.
+  for (const int node : {3, 4, 5, 0, 1, 2}) {
+    EXPECT_EQ(pool.PopHead(3), static_cast<FrameId>(8 * node)) << node;
+  }
+  EXPECT_EQ(pool.PopHead(3), kNoFrame);  // every node drained
+
+  // The wrapped-bit edge in isolation: only node 1 nonempty, preferred 4.
+  // rotr(mask, 4) parks node 1's bit at position 61; countr_zero must still
+  // resolve to node 1 ((4 + 61) & 63), not to a nonexistent high node.
+  pool.PushTail(8);
+  EXPECT_EQ(pool.PopHead(4), 8);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(RingBufferCoverageTest, GrowthAtExactCapacityWithWrappedWindow) {
+  // Fill to exactly kInitialCapacity (64), pop a prefix, refill so the live
+  // window wraps the arena end, then push once more: Grow() relocates the
+  // wrapped window into the doubled arena and must preserve FIFO order.
+  RingBuffer<int> ring;
+  for (int i = 0; i < 64; ++i) {
+    ring.push_back(i);
+  }
+  ASSERT_EQ(ring.size(), 64u);
+  for (int i = 0; i < 10; ++i) {
+    ring.pop_front();
+  }
+  for (int i = 64; i < 74; ++i) {
+    ring.push_back(i);  // head_ = 10, size_ = 64: window wraps, arena full
+  }
+  ASSERT_EQ(ring.size(), 64u);
+  ring.push_back(74);  // grows with the window wrapped at exact capacity
+  ASSERT_EQ(ring.size(), 65u);
+  EXPECT_EQ(ring.front(), 10);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i), 10 + static_cast<int>(i)) << i;
+  }
+  int expect = 10;
+  for (const int v : ring) {
+    EXPECT_EQ(v, expect++);
+  }
 }
 
 TEST(SchedulerCoverageTest, ManyShortThreadsAllComplete) {

@@ -26,7 +26,17 @@ Two modes:
           (pass --allow-missing to tolerate deliberate removals), or
         * a sweep benchmark reporting speedup/jobs on only ONE side — the
           efficiency gate cannot run, and a silently skipped gate is itself a
-          failure (--allow-missing tolerates this too).
+          failure (--allow-missing tolerates this too), or
+        * the COMBINED gate: the geometric mean of every two-sided gated
+          ratio in the pair moving beyond the "combined" threshold. Each
+          metric can drift just inside its own band, so a snapshot whose
+          storm metrics all slide the same direction at once (the
+          BENCH_scale failure mode) passes every per-metric gate while the
+          whole machine has regressed; the geomean sees the systemic drift.
+          Its default band is deliberately very loose (85%) because a slower
+          CI machine shifts every wall-clock rate down together; tighten it
+          per snapshot (e.g. --metric-threshold BENCH_scale/combined=40)
+          when baseline and candidate come from the same machine.
 
 Per-metric thresholds are set with repeatable --metric-threshold flags, e.g.
   --metric-threshold sim_events_per_s=60 --metric-threshold efficiency=50
@@ -57,6 +67,7 @@ Typical flow:
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -67,6 +78,11 @@ GATED_METRIC_DEFAULTS = {
     "sim_events_per_s": 60.0,
     "pages_touched_per_s": 60.0,  # honest work rate: survives op batching
     "efficiency": 50.0,  # parallel-sweep speedup / jobs
+    # Geometric mean of ALL the two-sided ratios above, across the whole
+    # snapshot pair: catches every gated metric drifting the same direction
+    # at once while each stays just inside its own band. Loose by default
+    # (cross-machine wall rates move together); scope-tighten per snapshot.
+    "combined": 85.0,
 }
 
 
@@ -165,6 +181,7 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
     worst = 0.0
     failed = []
     wall_notes = []
+    gated_ratios = []  # every two-sided ratio, for the combined geomean gate
     print(f"{'benchmark':32} {'base':>14} {'cand':>14} {'ratio':>8}")
     for cand in candidate["benchmarks"]:
         name = cand["name"]
@@ -200,6 +217,7 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
             eff_threshold = metric_thresholds["efficiency"]
             ratio, flag = gate_both_ways(name, "efficiency", base_eff, cand_eff,
                                          eff_threshold, failed)
+            gated_ratios.append(ratio)
             print(f"{name + ' [eff]':32} {base_eff:>13.2f}x {cand_eff:>13.2f}x "
                   f"{ratio:>7.2f}x{flag}")
 
@@ -220,6 +238,7 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
             ratio, flag = gate_both_ways(name, "pages_touched_per_s", float(base_pages),
                                          float(cand_pages),
                                          metric_thresholds["pages_touched_per_s"], failed)
+            gated_ratios.append(ratio)
             print(f"{name + ' [pages]':32} {float(base_pages):>12.0f}/s "
                   f"{float(cand_pages):>12.0f}/s {ratio:>7.2f}x{flag}")
 
@@ -237,6 +256,7 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
             # either direction.
             ratio, flag = gate_both_ways(name, unit, base_rate, cand_rate,
                                          metric_thresholds[unit], failed)
+            gated_ratios.append(ratio)
             worst = max(worst, (1.0 - ratio) * 100.0)
             print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")
             continue
@@ -250,6 +270,17 @@ def compare(baseline, candidate, threshold_pct, metric_thresholds, allow_missing
             failed.append(name)
         worst = max(worst, regression_pct)
         print(f"{name:32} {base_rate:>12.0f}/s {cand_rate:>12.0f}/s {ratio:>7.2f}x{flag}")
+    # Combined gate: per-metric bands let every rate drift to just inside its
+    # own edge, so a snapshot whose gated metrics all slide the same direction
+    # at once (e.g. the storm metrics in BENCH_scale) passes each gate while
+    # the machine has systemically regressed. The geometric mean of all the
+    # two-sided ratios catches exactly that correlated drift.
+    if gated_ratios:
+        geomean = math.exp(sum(math.log(r) for r in gated_ratios) / len(gated_ratios))
+        ratio, flag = gate_both_ways("combined", "combined", 1.0, geomean,
+                                     metric_thresholds["combined"], failed)
+        print(f"{'combined [geomean]':32} {'1.00x':>14} {geomean:>13.2f}x "
+              f"{ratio:>7.2f}x{flag}")
     cand_names = {b["name"] for b in candidate["benchmarks"]}
     for name in base_by_name:
         if name not in cand_names:

@@ -18,6 +18,11 @@ Runs the gate as a subprocess against the fixtures in tests/data/ and asserts:
   * speedup/jobs or pages_touched_per_s present on only one side (either
     direction) fails instead of silently skipping that gate; --allow-missing
     tolerates it;
+  * the combined gate (geometric mean of every two-sided gated ratio in the
+    pair) catches all metrics drifting the same direction at once while each
+    stays inside its own band; the default band is loose enough that the
+    same drift passes untightened, and SNAP/combined=PCT scopes the
+    tightening to one snapshot pair;
   * multi-snapshot mode compares each BASELINE CANDIDATE pair in one
     invocation, prefixes failures with the snapshot stem, scopes
     SNAP/METRIC=PCT thresholds to their pair, and rejects odd file counts;
@@ -220,6 +225,39 @@ def main():
                           code == 0, out)
     finally:
         os.unlink(no_pages)
+
+    # Combined (geomean) gate: drift EVERY gated metric of e2e_run down by the
+    # same factor, each staying just inside its own 60% band. The per-metric
+    # gates all pass; only the cross-metric geomean sees the correlated slide.
+    def drift_all(factor):
+        def mutate(bench):
+            if bench["name"] == "e2e_run":
+                bench["sim_events_per_s"] = bench["sim_events_per_s"] * factor
+                bench["pages_touched_per_s"] = bench["pages_touched_per_s"] * factor
+        return mutate
+
+    drifted = mutated(baseline, drift_all(0.45))
+    try:
+        code, out = run_gate(baseline, drifted,
+                             "--metric-threshold", "combined=40")
+        failures += check("correlated drift trips a tightened combined gate",
+                          code == 1 and "REGRESSION (combined:" in out
+                          and "REGRESSION (sim_events_per_s" not in out, out)
+        code, out = run_gate(baseline, drifted)
+        failures += check("same drift passes the default loose combined band",
+                          code == 0, out)
+        # Scoped combined threshold: tightening it for bench_baseline fails
+        # that pair (stem-prefixed), tightening it for the other pair does not.
+        code, out = run_gate(baseline, drifted, wall_only, wall_only,
+                             "--metric-threshold", "bench_baseline/combined=40")
+        failures += check("scoped combined threshold fails its own snapshot",
+                          code == 1 and "bench_baseline:combined" in out, out)
+        code, out = run_gate(baseline, drifted, wall_only, wall_only,
+                             "--metric-threshold", "bench_wall_only/combined=40")
+        failures += check("scoped combined threshold leaves other snapshots alone",
+                          code == 0, out)
+    finally:
+        os.unlink(drifted)
 
     # Multi-snapshot mode: two pairs in one invocation. Pair 2 has a dropped
     # benchmark, so the invocation must fail with the snapshot-stem prefix, and

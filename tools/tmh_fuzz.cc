@@ -42,6 +42,7 @@ struct Flags {
   bool verify_determinism = false;
   bool shrink = true;
   bool quiet = false;
+  bool force_tiers = false;  // give tierless scenarios a slow-tier hierarchy
 };
 
 void PrintUsage() {
@@ -55,6 +56,8 @@ void PrintUsage() {
       "  --check-period N  full structural pass every N mutations  [16]\n"
       "                    (the oracle is still consulted on every event)\n"
       "  --verify-determinism  run each seed twice; fail on digest mismatch\n"
+      "  --force-tiers   give scenarios without slow tiers a small 2-tier\n"
+      "                  hierarchy (tier-thrash sweeps over any seed range)\n"
       "  --inject N      corrupt the residency bitmap after N checker events\n"
       "  --expect-fail   exit 0 iff a violation IS detected (self-test mode)\n"
       "  --no-shrink     report failures without minimizing the scenario\n"
@@ -92,6 +95,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->expect_fail = true;
     } else if (arg == "--verify-determinism") {
       flags->verify_determinism = true;
+    } else if (arg == "--force-tiers") {
+      flags->force_tiers = true;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--quiet") {
@@ -152,6 +157,12 @@ tmh::Scenario Shrink(const tmh::Scenario& original, const Flags& flags) {
   try_change([](tmh::Scenario& s) { s.num_nodes = 1; });
   try_change([](tmh::Scenario& s) { s.storm_delay = 0; });
   try_change([](tmh::Scenario& s) { s.churn_stagger = 0; });
+  try_change([](tmh::Scenario& s) {
+    s.num_slow_tiers = 0;
+    s.tier_frames = 0;
+    s.tier_promote_cost = 0;
+    s.tier_demote_cost = 0;
+  });
   try_change([](tmh::Scenario& s) { s.monitor = false; });
   try_change([](tmh::Scenario& s) { s.monitor_protect = false; });
   try_change([](tmh::Scenario& s) { s.local_partition_divisor = 0; });
@@ -196,7 +207,15 @@ void ReportFailure(const tmh::Scenario& scenario,
 // Runs one seed end to end. Returns true when the run behaved as expected
 // (clean normally, or detected-and-deterministic under --expect-fail).
 bool RunSeed(uint64_t seed, const Flags& flags) {
-  const tmh::Scenario scenario = MakeScenario(seed, ScenarioOptionsFor(flags));
+  tmh::Scenario scenario = MakeScenario(seed, ScenarioOptionsFor(flags));
+  if (flags.force_tiers && scenario.num_slow_tiers == 0) {
+    // Small tiers on purpose: capacity-eviction cascades and disk fallout are
+    // the paths a tier-thrash sweep exists to exercise.
+    scenario.num_slow_tiers = 2;
+    scenario.tier_frames = 128;
+    scenario.tier_promote_cost = 20 * tmh::kUsec;
+    scenario.tier_demote_cost = 20 * tmh::kUsec;
+  }
   const tmh::ScenarioOutcome outcome =
       tmh::RunScenario(scenario, CheckOptionsFor(flags));
 

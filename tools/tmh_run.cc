@@ -43,6 +43,7 @@ struct Flags {
   double trace_period_s = 0.1;
   int64_t memory_mb = 0;          // 0 = scale the 75 MB default
   int num_nodes = 1;              // NUMA-style frame-pool nodes
+  std::vector<int64_t> tiers;     // slow-tier frame counts, DRAM-adjacent first
   int64_t local_partition = 0;    // pages; 0 = global replacement
   int release_batch = 100;
   int prefetch_threads = 8;
@@ -66,6 +67,8 @@ void PrintUsage() {
       "  --scale F           workload+machine scale in (0,1]     [1.0]\n"
       "  --memory-mb N       user memory in MB (overrides scale) [75*scale]\n"
       "  --nodes N           NUMA-style frame-pool nodes (1..64)  [1]\n"
+      "  --tiers N,M,...     slow-tier frame counts, DRAM-adjacent first;\n"
+      "                      releases demote into the hierarchy, faults promote\n"
       "  --interactive       run the 1 MB interactive task alongside\n"
       "  --sleep S           interactive think time in seconds   [5]\n"
       "  --adaptive          re-specialize unknown-bound nests at run time\n"
@@ -109,6 +112,20 @@ void PrintWorkloads() {
   table.Print();
 }
 
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +155,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       if (flags->num_nodes < 1 || flags->num_nodes > 64) {
         std::fprintf(stderr, "--nodes must be in [1, 64]\n");
         std::exit(2);
+      }
+    } else if (arg == "--tiers") {
+      for (const std::string& part : SplitList(next("--tiers"))) {
+        const int64_t frames = std::atoll(part.c_str());
+        if (frames < 1) {
+          std::fprintf(stderr, "--tiers wants positive frame counts\n");
+          std::exit(2);
+        }
+        flags->tiers.push_back(frames);
       }
     } else if (arg == "--interactive") {
       flags->interactive = true;
@@ -205,20 +231,6 @@ tmh::AppVersion ParseVersion(const std::string& s) {
   std::exit(2);
 }
 
-std::vector<std::string> SplitList(const std::string& s) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  for (;;) {
-    const size_t comma = s.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(s.substr(start));
-      return out;
-    }
-    out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-}
-
 // The experiment a (workload, version) combination maps to under the current
 // flags — shared by the single-run path and sweep mode so both run exactly
 // the same spec.
@@ -232,6 +244,14 @@ tmh::ExperimentSpec SpecFor(const Flags& flags, const tmh::WorkloadInfo& info,
         static_cast<double>(spec.machine.user_memory_bytes) * flags.scale);
   }
   spec.machine.num_nodes = flags.num_nodes;
+  if (!flags.tiers.empty()) {
+    spec.machine.tiers.push_back(tmh::TierSpec{});  // tiers[0] = DRAM
+    for (const int64_t frames : flags.tiers) {
+      tmh::TierSpec tier;
+      tier.frames = frames;
+      spec.machine.tiers.push_back(tier);
+    }
+  }
   spec.machine.tunables.local_partition_pages = flags.local_partition;
   spec.workload = info.factory(flags.scale);
   spec.version = version;
@@ -341,6 +361,14 @@ void PrintJson(const Flags& flags, const tmh::WorkloadInfo& info,
                                    result.kernel.rescued_release_freed));
   std::printf("  \"swap\": {\"reads\": %llu, \"writes\": %llu}",
               (unsigned long long)result.swap_reads, (unsigned long long)result.swap_writes);
+  if (spec.machine.has_slow_tiers()) {
+    std::printf(",\n  \"tiers\": {\"demotions\": %llu, \"promotions\": %llu, "
+                "\"evictions\": %llu, \"writebacks\": %llu}",
+                (unsigned long long)result.kernel.tier_demotions,
+                (unsigned long long)result.kernel.tier_promotions,
+                (unsigned long long)result.kernel.tier_evictions,
+                (unsigned long long)result.kernel.tier_writebacks);
+  }
   if (result.monitor.has_value()) {
     const tmh::MonitorStats& mo = *result.monitor;
     std::printf(",\n  \"monitor\": {\"ticks\": %llu, \"aggregations\": %llu, "
@@ -502,6 +530,14 @@ int main(int argc, char** argv) {
   counters.AddRow({"local evictions", tmh::FormatCount(result.kernel.local_evictions)});
   counters.AddRow({"pages rescued", tmh::FormatCount(result.kernel.rescued_daemon_freed +
                                                      result.kernel.rescued_release_freed)});
+  if (spec.machine.has_slow_tiers()) {
+    counters.AddRow({"tier demotions / promotions",
+                     tmh::FormatCount(result.kernel.tier_demotions) + " / " +
+                         tmh::FormatCount(result.kernel.tier_promotions)});
+    counters.AddRow({"tier evictions (writebacks)",
+                     tmh::FormatCount(result.kernel.tier_evictions) + " (" +
+                         tmh::FormatCount(result.kernel.tier_writebacks) + ")"});
+  }
   if (result.monitor.has_value()) {
     const tmh::MonitorStats& mo = *result.monitor;
     counters.AddRow({"monitor samples (hits)", tmh::FormatCount(mo.samples_armed) + " (" +
